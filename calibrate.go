@@ -1,0 +1,147 @@
+package crowdrank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CalibrationResult reports the outcome of a budget calibration.
+type CalibrationResult struct {
+	// Ratio is the smallest tested selection ratio whose mean simulated
+	// accuracy reaches the target.
+	Ratio float64
+	// Tasks is the corresponding number of comparison tasks l.
+	Tasks int
+	// EstimatedAccuracy is the mean pilot accuracy at Ratio.
+	EstimatedAccuracy float64
+	// Curve records the (ratio, mean accuracy) points evaluated, sorted by
+	// ratio, for inspection and plotting.
+	Curve []CalibrationPoint
+}
+
+// CalibrationPoint is one evaluated budget.
+type CalibrationPoint struct {
+	Ratio    float64
+	Tasks    int
+	Accuracy float64
+}
+
+// CalibrateBudget addresses the paper's future-work objective of
+// *minimizing the number of comparisons* needed for an acceptable ranking
+// accuracy: it searches the selection-ratio axis with simulated pilot
+// rounds (using the given worker model) and returns the smallest budget
+// whose mean pilot accuracy reaches the target.
+//
+// The search runs a bisection over ratios in [minRatio, 1], evaluating
+// `pilots` independent simulated rounds per candidate. Accuracy is not
+// perfectly monotone in the budget (crowd noise), so the result is the
+// smallest *evaluated* ratio meeting the target, with the whole evaluated
+// curve returned for transparency.
+func CalibrateBudget(n int, targetAccuracy float64, cfg SimConfig, pilots int) (*CalibrationResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("crowdrank: need at least two objects, got n=%d", n)
+	}
+	if targetAccuracy <= 0.5 || targetAccuracy >= 1 {
+		return nil, fmt.Errorf("crowdrank: target accuracy %v outside (0.5, 1)", targetAccuracy)
+	}
+	if pilots < 1 {
+		return nil, fmt.Errorf("crowdrank: need at least one pilot round, got %d", pilots)
+	}
+
+	// The spanning-path budget is the smallest meaningful ratio.
+	minRatio := 2.0 / float64(n) // l = n-1 corresponds to r ~ 2/n
+	if minRatio > 1 {
+		minRatio = 1
+	}
+
+	evaluate := func(ratio float64) (CalibrationPoint, error) {
+		var total float64
+		var tasks int
+		for p := 0; p < pilots; p++ {
+			seed := cfg.Seed + uint64(p)*1000003 + uint64(ratio*1e6)
+			plan, err := PlanTasksRatio(n, ratio, seed)
+			if err != nil {
+				return CalibrationPoint{}, err
+			}
+			tasks = plan.L
+			pilotCfg := cfg
+			pilotCfg.Seed = seed + 17
+			round, err := SimulateVotes(plan, pilotCfg)
+			if err != nil {
+				return CalibrationPoint{}, err
+			}
+			res, err := Infer(plan.N, pilotCfg.Workers, round.Votes, WithSeed(seed+31))
+			if err != nil {
+				return CalibrationPoint{}, err
+			}
+			acc, err := Accuracy(res.Ranking, round.GroundTruth)
+			if err != nil {
+				return CalibrationPoint{}, err
+			}
+			total += acc
+		}
+		return CalibrationPoint{Ratio: ratio, Tasks: tasks, Accuracy: total / float64(pilots)}, nil
+	}
+
+	var curve []CalibrationPoint
+	lo, hi := minRatio, 1.0
+
+	// First check feasibility at the full budget.
+	top, err := evaluate(hi)
+	if err != nil {
+		return nil, err
+	}
+	curve = append(curve, top)
+	if top.Accuracy < targetAccuracy {
+		sortCurve(curve)
+		return &CalibrationResult{
+			Ratio:             top.Ratio,
+			Tasks:             top.Tasks,
+			EstimatedAccuracy: top.Accuracy,
+			Curve:             curve,
+		}, fmt.Errorf("crowdrank: target accuracy %.3f unreachable even at the full budget (got %.3f); raise worker quality or lower the target", targetAccuracy, top.Accuracy)
+	}
+
+	best := top
+	const iterations = 7
+	for iter := 0; iter < iterations && hi-lo > 1e-3; iter++ {
+		mid := (lo + hi) / 2
+		point, err := evaluate(mid)
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, point)
+		if point.Accuracy >= targetAccuracy {
+			hi = mid
+			if point.Ratio < best.Ratio {
+				best = point
+			}
+		} else {
+			lo = mid
+		}
+	}
+
+	sortCurve(curve)
+	return &CalibrationResult{
+		Ratio:             best.Ratio,
+		Tasks:             best.Tasks,
+		EstimatedAccuracy: best.Accuracy,
+		Curve:             curve,
+	}, nil
+}
+
+func sortCurve(curve []CalibrationPoint) {
+	sort.Slice(curve, func(a, b int) bool { return curve[a].Ratio < curve[b].Ratio })
+}
+
+// TopK returns the first k objects of the inferred ranking — the paper's
+// future-work extension to top-k ranking. The full pipeline already orders
+// all objects, so the top-k is a prefix; TopKOverlap scores top-k quality.
+func (r *Result) TopK(k int) ([]int, error) {
+	if k < 1 || k > len(r.Ranking) {
+		return nil, fmt.Errorf("crowdrank: k=%d outside [1,%d]", k, len(r.Ranking))
+	}
+	out := make([]int, k)
+	copy(out, r.Ranking[:k])
+	return out, nil
+}

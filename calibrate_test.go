@@ -1,0 +1,111 @@
+package crowdrank
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrateBudgetFindsSmallBudget(t *testing.T) {
+	cfg := DefaultSimConfig(5)
+	cfg.Level = HighQualityWorkers
+	res, err := CalibrateBudget(60, 0.9, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio <= 0 || res.Ratio > 1 {
+		t.Errorf("ratio = %v", res.Ratio)
+	}
+	if res.EstimatedAccuracy < 0.9 {
+		t.Errorf("estimated accuracy %v below target", res.EstimatedAccuracy)
+	}
+	// High-quality workers should not need anywhere near the full budget.
+	if res.Ratio > 0.6 {
+		t.Errorf("calibrated ratio %v suspiciously large for high-quality workers", res.Ratio)
+	}
+	if len(res.Curve) < 2 {
+		t.Errorf("curve has %d points", len(res.Curve))
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Ratio < res.Curve[i-1].Ratio {
+			t.Error("curve not sorted by ratio")
+		}
+	}
+}
+
+func TestCalibrateBudgetUnreachableTarget(t *testing.T) {
+	cfg := DefaultSimConfig(6)
+	cfg.Level = LowQualityWorkers
+	res, err := CalibrateBudget(30, 0.999, cfg, 1)
+	if err == nil {
+		t.Fatalf("expected unreachable-target error, got %+v", res)
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if res == nil || len(res.Curve) == 0 {
+		t.Error("unreachable result should still report the evaluated curve")
+	}
+}
+
+func TestCalibrateBudgetValidation(t *testing.T) {
+	cfg := DefaultSimConfig(7)
+	if _, err := CalibrateBudget(1, 0.9, cfg, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := CalibrateBudget(20, 0.4, cfg, 1); err == nil {
+		t.Error("target <= 0.5 should fail")
+	}
+	if _, err := CalibrateBudget(20, 1.0, cfg, 1); err == nil {
+		t.Error("target >= 1 should fail")
+	}
+	if _, err := CalibrateBudget(20, 0.9, cfg, 0); err == nil {
+		t.Error("pilots=0 should fail")
+	}
+}
+
+func TestResultTopK(t *testing.T) {
+	plan, err := PlanTasksRatio(20, 0.5, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(92)
+	cfg.Level = HighQualityWorkers
+	round, err := SimulateVotes(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Infer(plan.N, cfg.Workers, round.Votes, WithSeed(93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top5, err := res.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top5) != 5 {
+		t.Fatalf("TopK(5) = %v", top5)
+	}
+	for i := range top5 {
+		if top5[i] != res.Ranking[i] {
+			t.Error("TopK must be a prefix of the ranking")
+		}
+	}
+	// Mutating the returned slice must not affect the result.
+	top5[0] = -1
+	if res.Ranking[0] == -1 {
+		t.Error("TopK must copy")
+	}
+	overlap, err := TopKOverlap(res.Ranking, round.GroundTruth, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlap < 0.6 {
+		t.Errorf("top-5 overlap with truth = %v", overlap)
+	}
+	if _, err := res.TopK(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := res.TopK(21); err == nil {
+		t.Error("k>n should fail")
+	}
+}

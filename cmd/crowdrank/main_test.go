@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crowdrank"
+)
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	in := PlanFile{
+		N: 5, L: 6, Seed: 7, TargetDegree: 2,
+		Pairs:    []crowdrank.Pair{{I: 0, J: 1}, {I: 1, J: 2}},
+		SeedPath: []int{0, 1, 2, 3, 4},
+	}
+	if err := writeJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	var out PlanFile
+	if err := readJSON(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != in.N || out.L != in.L || len(out.Pairs) != 2 || out.Pairs[1] != in.Pairs[1] {
+		t.Errorf("round trip = %+v", out)
+	}
+	if err := readJSON(filepath.Join(dir, "missing.json"), &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readJSON(bad, &out); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestVotesCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "votes.csv")
+	votes := []crowdrank.Vote{
+		{Worker: 2, I: 0, J: 1, PrefersI: true},
+		{Worker: 7, I: 3, J: 4, PrefersI: false},
+	}
+	if err := writeVotesCSVFile(path, votes); err != nil {
+		t.Fatal(err)
+	}
+	got, workers, err := readVotesCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers != 8 { // max worker id + 1
+		t.Errorf("derived workers = %d, want 8", workers)
+	}
+	if len(got) != 2 || got[0] != votes[0] || got[1] != votes[1] {
+		t.Errorf("votes = %+v", got)
+	}
+	if _, _, err := readVotesCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,159 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the simulated substrate (see DESIGN.md's per-experiment
+// index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments -exp fig3|fig4|fig5|fig6|table1|amt|conv|ablation|makespan|robustness|workers|topk|all [-scale quick|paper]
+//
+// The paper scale uses the paper's sizes (n up to 1000) and can take
+// minutes; the quick scale shrinks every grid to run in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"crowdrank/internal/bench"
+)
+
+var experiments = map[string]func(io.Writer, bench.Scale) error{
+	"fig3":       bench.Fig3,
+	"fig4":       bench.Fig4,
+	"fig5":       bench.Fig5,
+	"fig6":       bench.Fig6,
+	"table1":     bench.Table1,
+	"amt":        bench.AMT,
+	"conv":       bench.Convergence,
+	"ablation":   bench.Ablation,
+	"makespan":   bench.Makespan,
+	"robustness": bench.Robustness,
+	"workers":    bench.Workers,
+	"topk":       bench.TopK,
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig3|fig4|fig5|fig6|table1|amt|conv|ablation|makespan|robustness|workers|topk|all")
+	scaleFlag := flag.String("scale", "paper", "experiment scale: quick|paper")
+	tsvDir := flag.String("tsv", "", "also write each experiment's rows as <dir>/<exp>.tsv for plotting")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.ScaleQuick
+	case "paper":
+		scale = bench.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (quick|paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = names[:0]
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+
+	for _, name := range names {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		var out io.Writer = os.Stdout
+		var tsv *tsvWriter
+		if *tsvDir != "" {
+			if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*tsvDir, name+".tsv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			tsv = &tsvWriter{dst: f}
+			out = io.MultiWriter(os.Stdout, tsv)
+		}
+		if err := fn(out, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if tsv != nil {
+			if err := tsv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// tsvWriter converts the harness's fixed-width tables to tab-separated
+// rows: columns are split on runs of two or more spaces; header lines
+// (`== ... ==`) become comments; other narration is dropped.
+type tsvWriter struct {
+	dst interface {
+		io.Writer
+		Close() error
+	}
+	buf strings.Builder
+}
+
+var columnSplit = regexp.MustCompile(`\s{2,}`)
+
+func (t *tsvWriter) Write(p []byte) (int, error) {
+	t.buf.Write(p)
+	for {
+		text := t.buf.String()
+		idx := strings.IndexByte(text, '\n')
+		if idx < 0 {
+			break
+		}
+		line := text[:idx]
+		t.buf.Reset()
+		t.buf.WriteString(text[idx+1:])
+		if err := t.writeLine(line); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+func (t *tsvWriter) writeLine(line string) error {
+	trimmed := strings.TrimSpace(line)
+	switch {
+	case trimmed == "":
+		return nil
+	case strings.HasPrefix(trimmed, "=="):
+		_, err := fmt.Fprintf(t.dst, "# %s\n", strings.Trim(trimmed, "= "))
+		return err
+	case strings.HasPrefix(trimmed, "("):
+		return nil // footnotes
+	default:
+		cols := columnSplit.Split(trimmed, -1)
+		_, err := fmt.Fprintln(t.dst, strings.Join(cols, "\t"))
+		return err
+	}
+}
+
+func (t *tsvWriter) Close() error {
+	if rest := strings.TrimSpace(t.buf.String()); rest != "" {
+		if err := t.writeLine(rest); err != nil {
+			return err
+		}
+	}
+	return t.dst.Close()
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// closableBuffer adapts bytes.Buffer to the tsvWriter destination.
+type closableBuffer struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (b *closableBuffer) Close() error {
+	b.closed = true
+	return nil
+}
+
+func TestTSVWriterConvertsTables(t *testing.T) {
+	dst := &closableBuffer{}
+	w := &tsvWriter{dst: dst}
+	input := "" +
+		"\n== Figure X: something ==\n" +
+		"col1        col2        col3\n" +
+		"a           1.5000      12ms\n" +
+		"(footnote to drop)\n" +
+		"b           2           3\n"
+	// Feed in two chunks to exercise buffering across Write calls.
+	half := len(input) / 2
+	if _, err := w.Write([]byte(input[:half])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(input[half:])); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.closed {
+		t.Error("destination not closed")
+	}
+	lines := strings.Split(strings.TrimSpace(dst.String()), "\n")
+	want := []string{
+		"# Figure X: something",
+		"col1\tcol2\tcol3",
+		"a\t1.5000\t12ms",
+		"b\t2\t3",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestTSVWriterFlushesTrailingLine(t *testing.T) {
+	dst := &closableBuffer{}
+	w := &tsvWriter{dst: dst}
+	if _, err := w.Write([]byte("x  y")); err != nil { // no trailing newline
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(dst.String()); got != "x\ty" {
+		t.Errorf("trailing line = %q", got)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	for _, name := range []string{
+		"fig3", "fig4", "fig5", "fig6", "table1", "amt", "conv",
+		"ablation", "makespan", "robustness", "workers",
+	} {
+		if _, ok := experiments[name]; !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Command plot renders a TSV series file exported by
+// `experiments -tsv <dir>` as a self-contained SVG line chart.
+//
+// Usage:
+//
+//	plot -in results_tsv/fig5.tsv -x n -y accuracy -series distribution -out fig5.svg
+//	plot -in results_tsv/fig3.tsv -x n -y total_ms -series distribution -out fig3.svg
+//
+// The -x and -y flags name columns of the TSV (first non-comment row is the
+// header). -series splits rows into one line per distinct value of that
+// column; omit it for a single line. -filter col=value keeps only matching
+// rows (repeatable), e.g. -filter method=SAPS for the baseline tables.
+// Numeric parsing accepts plain floats and Go duration strings (reported as
+// milliseconds).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"crowdrank/internal/plot"
+)
+
+// filters accumulates repeated -filter flags.
+type filters map[string]string
+
+func (f filters) String() string { return fmt.Sprint(map[string]string(f)) }
+func (f filters) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" {
+		return fmt.Errorf("filter must be col=value, got %q", v)
+	}
+	f[parts[0]] = parts[1]
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "", "input TSV file (from experiments -tsv)")
+	xCol := flag.String("x", "", "column for the x axis")
+	yCol := flag.String("y", "", "column for the y axis")
+	seriesCol := flag.String("series", "", "column splitting rows into one line per value (optional)")
+	out := flag.String("out", "chart.svg", "output SVG file")
+	title := flag.String("title", "", "chart title (defaults to the TSV's comment header)")
+	where := filters{}
+	flag.Var(where, "filter", "keep only rows with col=value (repeatable)")
+	flag.Parse()
+
+	if *in == "" || *xCol == "" || *yCol == "" {
+		fmt.Fprintln(os.Stderr, "plot: -in, -x and -y are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *xCol, *yCol, *seriesCol, *out, *title, where); err != nil {
+		fmt.Fprintf(os.Stderr, "plot: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, xCol, yCol, seriesCol, out, title string, where filters) error {
+	header, comment, rows, err := readTSV(in)
+	if err != nil {
+		return err
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, need := range []string{xCol, yCol} {
+		if _, ok := col[need]; !ok {
+			return fmt.Errorf("column %q not in header %v", need, header)
+		}
+	}
+	if seriesCol != "" {
+		if _, ok := col[seriesCol]; !ok {
+			return fmt.Errorf("series column %q not in header %v", seriesCol, header)
+		}
+	}
+	for name := range where {
+		if _, ok := col[name]; !ok {
+			return fmt.Errorf("filter column %q not in header %v", name, header)
+		}
+	}
+
+	type point struct{ x, y float64 }
+	bySeries := make(map[string][]point)
+	kept := 0
+rows:
+	for _, row := range rows {
+		for name, want := range where {
+			if row[col[name]] != want {
+				continue rows
+			}
+		}
+		x, err := parseNumeric(row[col[xCol]])
+		if err != nil {
+			return fmt.Errorf("x value %q: %w", row[col[xCol]], err)
+		}
+		y, err := parseNumeric(row[col[yCol]])
+		if err != nil {
+			return fmt.Errorf("y value %q: %w", row[col[yCol]], err)
+		}
+		name := ""
+		if seriesCol != "" {
+			name = row[col[seriesCol]]
+		}
+		bySeries[name] = append(bySeries[name], point{x: x, y: y})
+		kept++
+	}
+	if kept == 0 {
+		return fmt.Errorf("no rows matched the filters")
+	}
+
+	names := make([]string, 0, len(bySeries))
+	for name := range bySeries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	chart := plot.Chart{
+		Title:  title,
+		XLabel: xCol,
+		YLabel: yCol,
+	}
+	if chart.Title == "" {
+		chart.Title = comment
+	}
+	for _, name := range names {
+		pts := bySeries[name]
+		s := plot.Series{Name: name}
+		if s.Name == "" {
+			s.Name = yCol
+		}
+		for _, p := range pts {
+			s.X = append(s.X, p.x)
+			s.Y = append(s.Y, p.y)
+		}
+		chart.Series = append(chart.Series, s)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := chart.WriteSVG(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, %d series)\n", out, kept, len(chart.Series))
+	return nil
+}
+
+// readTSV loads a harness TSV: optional leading `# comment` lines, a header
+// row, then data rows.
+func readTSV(path string) (header []string, comment string, rows [][]string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if comment == "" {
+				comment = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if header == nil {
+			header = fields
+			continue
+		}
+		if len(fields) != len(header) {
+			return nil, "", nil, fmt.Errorf("row has %d fields, header has %d: %q", len(fields), len(header), line)
+		}
+		rows = append(rows, fields)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", nil, err
+	}
+	if header == nil {
+		return nil, "", nil, fmt.Errorf("no header row in %s", path)
+	}
+	return header, comment, rows, nil
+}
+
+// parseNumeric accepts floats, trailing-x multipliers ("17x"), and Go
+// durations (converted to milliseconds).
+func parseNumeric(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if strings.HasSuffix(s, "x") {
+		if v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64); err == nil {
+			return v, nil
+		}
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return float64(d) / float64(time.Millisecond), nil
+	}
+	return 0, fmt.Errorf("not numeric (float, Nx, or duration)")
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTSV = `# Figure X: demo
+n	distribution	accuracy	total
+100	gaussian	0.90	4ms
+200	gaussian	0.93	19ms
+100	uniform	0.88	4ms
+200	uniform	0.92	18ms
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.tsv")
+	if err := os.WriteFile(path, []byte(sampleTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersSeries(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "fig.svg")
+	if err := run(in, "n", "accuracy", "distribution", out, "", filters{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"<svg", "gaussian", "uniform", "Figure X: demo"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRunFilterAndDuration(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "fig.svg")
+	err := run(in, "n", "total", "", out, "custom title", filters{"distribution": "gaussian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "custom title") {
+		t.Error("custom title missing")
+	}
+	if strings.Contains(string(data), "uniform") {
+		t.Error("filtered series leaked into the chart")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "fig.svg")
+	if err := run(in, "missing", "accuracy", "", out, "", filters{}); err == nil {
+		t.Error("unknown x column should fail")
+	}
+	if err := run(in, "n", "accuracy", "nope", out, "", filters{}); err == nil {
+		t.Error("unknown series column should fail")
+	}
+	if err := run(in, "n", "accuracy", "", out, "", filters{"nope": "x"}); err == nil {
+		t.Error("unknown filter column should fail")
+	}
+	if err := run(in, "n", "accuracy", "", out, "", filters{"distribution": "martian"}); err == nil {
+		t.Error("filter matching nothing should fail")
+	}
+	if err := run(in, "distribution", "accuracy", "", out, "", filters{}); err == nil {
+		t.Error("non-numeric x column should fail")
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := map[string]float64{
+		"1.5":   1.5,
+		"17x":   17,
+		"2s":    2000,
+		"250ms": 250,
+	}
+	for in, want := range cases {
+		got, err := parseNumeric(in)
+		if err != nil || got != want {
+			t.Errorf("parseNumeric(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseNumeric("banana"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestFiltersFlag(t *testing.T) {
+	f := filters{}
+	if err := f.Set("a=b"); err != nil {
+		t.Fatal(err)
+	}
+	if f["a"] != "b" {
+		t.Errorf("filters = %v", f)
+	}
+	if err := f.Set("broken"); err == nil {
+		t.Error("malformed filter should fail")
+	}
+	if f.String() == "" {
+		t.Error("String should render")
+	}
+}

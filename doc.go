@@ -1,0 +1,33 @@
+// Package crowdrank infers a full ranking of n objects from a small,
+// budget-constrained number of crowdsourced pairwise comparisons collected
+// in a single non-interactive round, implementing the system of Cai, Sun,
+// Dong, Zhang, Wang and Wang, "Pairwise Ranking Aggregation by
+// Non-interactive Crowdsourcing with Budget Constraints" (ICDCS 2017).
+//
+// # Workflow
+//
+// A requester with budget B plans l = B/(w*r) pairwise comparison tasks
+// over n objects:
+//
+//	plan, err := crowdrank.PlanTasksRatio(100, 0.1, seed) // 10% of all pairs
+//
+// The plan's task graph is fair (every object has the same degree, hence
+// the same probability of being forced to the top or bottom of the ranking)
+// and maximizes the likelihood that a full ranking is recoverable
+// (Theorems 4.1-4.4 of the paper). The tasks are packed into HITs, sent to
+// the crowd once, and the collected votes are aggregated:
+//
+//	result, err := crowdrank.Infer(plan.N, workers, votes)
+//
+// Infer runs the paper's four-step pipeline: truth discovery (joint
+// estimation of worker quality and pairwise truth), preference smoothing
+// (relaxing unanimous edges so a full ranking always exists), preference
+// propagation (transitive closure with blended direct/indirect evidence),
+// and best-ranking search (simulated annealing, or one of the exact
+// searchers for small instances).
+//
+// The package also exposes the paper's evaluation apparatus: simulated
+// crowds with Gaussian/Uniform quality distributions, a synthetic
+// PubFig-style image study, the RC / QS / CrowdBT baselines, and Kendall
+// tau ranking metrics. See the examples directory and EXPERIMENTS.md.
+package crowdrank

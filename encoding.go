@@ -1,0 +1,111 @@
+package crowdrank
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV codecs for votes and task pairs, for interoperability with the
+// spreadsheet exports real crowdsourcing platforms produce. The vote schema
+// is a header row `worker,i,j,prefers_i` followed by one row per vote; the
+// pair schema is `i,j`.
+
+// WriteVotesCSV writes votes with a `worker,i,j,prefers_i` header.
+func WriteVotesCSV(w io.Writer, votes []Vote) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"worker", "i", "j", "prefers_i"}); err != nil {
+		return fmt.Errorf("crowdrank: writing CSV header: %w", err)
+	}
+	for idx, v := range votes {
+		rec := []string{
+			strconv.Itoa(v.Worker),
+			strconv.Itoa(v.I),
+			strconv.Itoa(v.J),
+			strconv.FormatBool(v.PrefersI),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("crowdrank: writing CSV vote %d: %w", idx, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadVotesCSV parses votes written by WriteVotesCSV (or any CSV with the
+// same four columns; a header row is detected and skipped).
+func ReadVotesCSV(r io.Reader) ([]Vote, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("crowdrank: reading CSV votes: %w", err)
+	}
+	votes := make([]Vote, 0, len(records))
+	for idx, rec := range records {
+		if idx == 0 && rec[0] == "worker" {
+			continue // header
+		}
+		worker, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("crowdrank: CSV row %d: worker %q: %w", idx+1, rec[0], err)
+		}
+		i, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("crowdrank: CSV row %d: i %q: %w", idx+1, rec[1], err)
+		}
+		j, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("crowdrank: CSV row %d: j %q: %w", idx+1, rec[2], err)
+		}
+		prefersI, err := strconv.ParseBool(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("crowdrank: CSV row %d: prefers_i %q: %w", idx+1, rec[3], err)
+		}
+		votes = append(votes, Vote{Worker: worker, I: i, J: j, PrefersI: prefersI})
+	}
+	return votes, nil
+}
+
+// WritePairsCSV writes comparison tasks with an `i,j` header.
+func WritePairsCSV(w io.Writer, pairs []Pair) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"i", "j"}); err != nil {
+		return fmt.Errorf("crowdrank: writing CSV header: %w", err)
+	}
+	for idx, p := range pairs {
+		if err := cw.Write([]string{strconv.Itoa(p.I), strconv.Itoa(p.J)}); err != nil {
+			return fmt.Errorf("crowdrank: writing CSV pair %d: %w", idx, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPairsCSV parses tasks written by WritePairsCSV (header detected and
+// skipped).
+func ReadPairsCSV(r io.Reader) ([]Pair, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("crowdrank: reading CSV pairs: %w", err)
+	}
+	pairs := make([]Pair, 0, len(records))
+	for idx, rec := range records {
+		if idx == 0 && rec[0] == "i" {
+			continue
+		}
+		i, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("crowdrank: CSV row %d: i %q: %w", idx+1, rec[0], err)
+		}
+		j, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("crowdrank: CSV row %d: j %q: %w", idx+1, rec[1], err)
+		}
+		pairs = append(pairs, Pair{I: i, J: j})
+	}
+	return pairs, nil
+}

@@ -1,0 +1,80 @@
+package crowdrank_test
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank"
+)
+
+// ExamplePlanTasksRatio plans a 10% budget over 20 objects and inspects the
+// fairness guarantees.
+func ExamplePlanTasksRatio() {
+	plan, err := crowdrank.PlanTasksRatio(20, 0.3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("objects:", plan.N)
+	fmt.Println("tasks:", plan.L)
+	fmt.Println("target degree:", plan.TargetDegree)
+	fmt.Println("valid:", plan.Validate() == nil)
+	// Output:
+	// objects: 20
+	// tasks: 57
+	// target degree: 5
+	// valid: true
+}
+
+// ExampleInfer runs the full plan -> simulate -> infer -> score loop with
+// fixed seeds, so the accuracy is reproducible.
+func ExampleInfer() {
+	plan, err := crowdrank.PlanTasksRatio(50, 0.3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := crowdrank.DefaultSimConfig(12)
+	round, err := crowdrank.SimulateVotes(plan, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := crowdrank.Infer(plan.N, cfg.Workers, round.Votes, crowdrank.WithSeed(13))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := crowdrank.Accuracy(res.Ranking, round.GroundTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy above 0.9: %v\n", acc > 0.9)
+	fmt.Printf("ranking is a permutation of %d objects: %v\n", plan.N, len(res.Ranking) == plan.N)
+	// Output:
+	// accuracy above 0.9: true
+	// ranking is a permutation of 50 objects: true
+}
+
+// ExampleKendallTauDistance shows the metric on hand-built rankings.
+func ExampleKendallTauDistance() {
+	identical, _ := crowdrank.KendallTauDistance([]int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+	reversed, _ := crowdrank.KendallTauDistance([]int{0, 1, 2, 3}, []int{3, 2, 1, 0})
+	oneSwap, _ := crowdrank.KendallTauDistance([]int{0, 1, 2, 3}, []int{1, 0, 2, 3})
+	fmt.Printf("identical: %.3f\n", identical)
+	fmt.Printf("reversed: %.3f\n", reversed)
+	fmt.Printf("one swap: %.3f\n", oneSwap)
+	// Output:
+	// identical: 0.000
+	// reversed: 1.000
+	// one swap: 0.167
+}
+
+// ExampleBudget shows the paper's budget arithmetic: $12.50 at $0.025 per
+// comparison with 10 workers per task affords 50 unique comparisons.
+func ExampleBudget() {
+	b := crowdrank.Budget{Total: 12.5, Reward: 0.025, WorkersPerTask: 10}
+	l, err := b.MaxTasks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("affordable comparisons:", l)
+	// Output:
+	// affordable comparisons: 50
+}

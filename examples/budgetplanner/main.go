@@ -1,0 +1,64 @@
+// Budgetplanner explores the money/accuracy trade-off of the paper's
+// Section II budget model: given a dollar budget B, a per-comparison reward
+// r, and w workers per comparison, the requester can afford l = B/(w*r)
+// unique comparisons. The example sweeps budgets for a 200-object catalog
+// and reports the achieved ranking accuracy per dollar, showing the
+// diminishing returns the paper's Figure 5 documents.
+//
+// Run with:
+//
+//	go run ./examples/budgetplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank"
+)
+
+func main() {
+	const (
+		objects = 200
+		reward  = 0.025 // dollars per comparison per worker, as on AMT
+		workers = 10    // workers answering each comparison
+	)
+	allPairs := objects * (objects - 1) / 2
+	fullCost := float64(allPairs) * workers * reward
+	fmt.Printf("ranking %d objects: all %d comparisons would cost $%.2f\n\n",
+		objects, allPairs, fullCost)
+
+	fmt.Printf("%-10s  %-8s  %-8s  %-9s  %-10s  %s\n",
+		"budget($)", "tasks", "ratio", "accuracy", "tau", "acc/$")
+	for _, budget := range []float64{100, 250, 500, 1000, 2000, fullCost} {
+		b := crowdrank.Budget{Total: budget, Reward: reward, WorkersPerTask: workers}
+		plan, err := crowdrank.PlanTasksBudget(objects, b, 77)
+		if err != nil {
+			log.Fatalf("planning with budget $%.0f: %v", budget, err)
+		}
+
+		cfg := crowdrank.DefaultSimConfig(88)
+		round, err := crowdrank.SimulateVotes(plan, cfg)
+		if err != nil {
+			log.Fatalf("simulating: %v", err)
+		}
+		res, err := crowdrank.Infer(plan.N, cfg.Workers, round.Votes, crowdrank.WithSeed(99))
+		if err != nil {
+			log.Fatalf("inferring: %v", err)
+		}
+		acc, err := crowdrank.Accuracy(res.Ranking, round.GroundTruth)
+		if err != nil {
+			log.Fatalf("scoring: %v", err)
+		}
+		tau, err := crowdrank.KendallTau(res.Ranking, round.GroundTruth)
+		if err != nil {
+			log.Fatalf("scoring: %v", err)
+		}
+		ratio := float64(plan.L) / float64(allPairs)
+		fmt.Printf("%-10.2f  %-8d  %-8.3f  %-9.4f  %-10.4f  %.5f\n",
+			budget, plan.L, ratio, acc, tau, acc/budget)
+	}
+
+	fmt.Println("\nnote how accuracy saturates well below the all-pairs budget —")
+	fmt.Println("the transitive closure recovers most of the ranking from a fraction of the comparisons.")
+}

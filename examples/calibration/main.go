@@ -1,0 +1,69 @@
+// Calibration demonstrates the paper's future-work objective — minimizing
+// the number of comparisons needed for an acceptable accuracy — using
+// CalibrateBudget: simulated pilot rounds bisect the budget axis and return
+// the smallest selection ratio whose mean pilot accuracy reaches the
+// target, together with the whole evaluated accuracy curve.
+//
+// Run with:
+//
+//	go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank"
+)
+
+func main() {
+	const (
+		objects = 150
+		target  = 0.95
+		pilots  = 2
+	)
+	cfg := crowdrank.DefaultSimConfig(314)
+
+	fmt.Printf("searching for the smallest budget reaching accuracy %.2f on %d objects\n", target, objects)
+	fmt.Printf("(assumed crowd: %d workers, medium Gaussian quality, %d per comparison)\n\n",
+		cfg.Workers, cfg.WorkersPerTask)
+
+	res, err := crowdrank.CalibrateBudget(objects, target, cfg, pilots)
+	if err != nil {
+		log.Fatalf("calibrating: %v", err)
+	}
+
+	fmt.Printf("%-10s %-10s %s\n", "ratio", "tasks", "pilot accuracy")
+	for _, p := range res.Curve {
+		marker := ""
+		if p.Ratio == res.Ratio {
+			marker = "  <- selected"
+		}
+		fmt.Printf("%-10.4f %-10d %.4f%s\n", p.Ratio, p.Tasks, p.Accuracy, marker)
+	}
+
+	allPairs := objects * (objects - 1) / 2
+	fmt.Printf("\nselected budget: %d of %d comparisons (%.1f%%), estimated accuracy %.4f\n",
+		res.Tasks, allPairs, 100*res.Ratio, res.EstimatedAccuracy)
+
+	// Validate the calibrated budget on a fresh (non-pilot) round.
+	plan, err := crowdrank.PlanTasksRatio(objects, res.Ratio, 999)
+	if err != nil {
+		log.Fatalf("planning: %v", err)
+	}
+	check := cfg
+	check.Seed = 1000
+	round, err := crowdrank.SimulateVotes(plan, check)
+	if err != nil {
+		log.Fatalf("simulating: %v", err)
+	}
+	inferred, err := crowdrank.Infer(plan.N, check.Workers, round.Votes, crowdrank.WithSeed(1001))
+	if err != nil {
+		log.Fatalf("inferring: %v", err)
+	}
+	acc, err := crowdrank.Accuracy(inferred.Ranking, round.GroundTruth)
+	if err != nil {
+		log.Fatalf("scoring: %v", err)
+	}
+	fmt.Printf("fresh-round validation at the calibrated budget: accuracy %.4f\n", acc)
+}

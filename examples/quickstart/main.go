@@ -1,0 +1,71 @@
+// Quickstart: plan a budget-constrained set of pairwise comparison tasks,
+// simulate a crowd answering them in one non-interactive round, infer the
+// full ranking, and score it against the hidden ground truth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank"
+)
+
+func main() {
+	const (
+		objects = 100
+		ratio   = 0.1 // afford only 10% of all C(n,2) comparisons
+		seed    = 42
+	)
+
+	// 1. Task assignment: a fair, high-HP-likelihood task graph with
+	//    l = ratio * C(n,2) comparison tasks (Section IV of the paper).
+	plan, err := crowdrank.PlanTasksRatio(objects, ratio, seed)
+	if err != nil {
+		log.Fatalf("planning tasks: %v", err)
+	}
+	bound, err := plan.HPLikelihoodLowerBound()
+	if err != nil {
+		log.Fatalf("HP-likelihood bound: %v", err)
+	}
+	fmt.Printf("planned %d of %d possible comparisons (target degree %d, HP-likelihood bound %.4f)\n",
+		plan.L, objects*(objects-1)/2, plan.TargetDegree, bound)
+
+	// 2. Crowdsourcing (simulated): 30 medium-quality workers; each
+	//    comparison is answered by 10 of them.
+	cfg := crowdrank.DefaultSimConfig(seed + 1)
+	round, err := crowdrank.SimulateVotes(plan, cfg)
+	if err != nil {
+		log.Fatalf("simulating crowd: %v", err)
+	}
+	fmt.Printf("collected %d votes from %d workers in a single non-interactive round\n",
+		len(round.Votes), cfg.Workers)
+
+	// 3. Result inference: truth discovery -> smoothing -> propagation ->
+	//    best-ranking search (Section V).
+	result, err := crowdrank.Infer(plan.N, cfg.Workers, round.Votes, crowdrank.WithSeed(seed+2))
+	if err != nil {
+		log.Fatalf("inferring ranking: %v", err)
+	}
+	fmt.Printf("inference took %v (truth discovery %v, smoothing %v, propagation %v, search %v)\n",
+		result.Timings.Total(), result.Timings.TruthDiscovery, result.Timings.Smoothing,
+		result.Timings.Propagation, result.Timings.Search)
+	fmt.Printf("truth discovery converged after %d iterations; %d unanimous edges smoothed\n",
+		result.TruthIterations, result.OneEdges)
+
+	// 4. Score against the (normally unknown) ground truth.
+	accuracy, err := crowdrank.Accuracy(result.Ranking, round.GroundTruth)
+	if err != nil {
+		log.Fatalf("scoring: %v", err)
+	}
+	tau, err := crowdrank.KendallTau(result.Ranking, round.GroundTruth)
+	if err != nil {
+		log.Fatalf("scoring: %v", err)
+	}
+	fmt.Printf("ranking accuracy: %.4f (Kendall tau %.4f) using only %.0f%% of all comparisons\n",
+		accuracy, tau, ratio*100)
+	fmt.Printf("top 10 objects: %v\n", result.Ranking[:10])
+}

@@ -1,0 +1,100 @@
+// Workerquality demonstrates the truth-discovery side of the pipeline
+// (Section V-A): jointly estimating worker reliability and pairwise truth.
+// A crowd of honest workers of varying precision is contaminated with
+// spammers (coin-flippers) and the inferred per-worker quality is compared
+// with each worker's actual agreement with the hidden ground truth —
+// showing that the requester can identify unreliable workers without any
+// gold-standard questions.
+//
+// Run with:
+//
+//	go run ./examples/workerquality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sort"
+
+	"crowdrank"
+)
+
+func main() {
+	const (
+		objects  = 60
+		ratio    = 0.5
+		honest   = 12 // workers answering from the true order with noise
+		spammers = 4  // workers answering uniformly at random
+	)
+	total := honest + spammers
+	rng := rand.New(rand.NewPCG(2026, 7))
+
+	// Hidden ground truth and per-worker error rates.
+	truth := rng.Perm(objects)
+	pos := make([]int, objects)
+	for r, o := range truth {
+		pos[o] = r
+	}
+	errRate := make([]float64, total)
+	for w := 0; w < honest; w++ {
+		errRate[w] = 0.02 + 0.28*float64(w)/float64(honest-1) // 2% .. 30%
+	}
+	for w := honest; w < total; w++ {
+		errRate[w] = 0.5 // spammer: coin flip
+	}
+
+	// Plan tasks and collect votes: every comparison goes to 8 random
+	// workers.
+	plan, err := crowdrank.PlanTasksRatio(objects, ratio, 11)
+	if err != nil {
+		log.Fatalf("planning: %v", err)
+	}
+	var votes []crowdrank.Vote
+	correct := make([]int, total)
+	answered := make([]int, total)
+	for _, pr := range plan.Pairs {
+		workers := rng.Perm(total)[:8]
+		for _, w := range workers {
+			truthPref := pos[pr.I] < pos[pr.J]
+			prefers := truthPref
+			if rng.Float64() < errRate[w] {
+				prefers = !truthPref
+			}
+			votes = append(votes, crowdrank.Vote{Worker: w, I: pr.I, J: pr.J, PrefersI: prefers})
+			answered[w]++
+			if prefers == truthPref {
+				correct[w]++
+			}
+		}
+	}
+
+	res, err := crowdrank.Infer(objects, total, votes, crowdrank.WithSeed(13))
+	if err != nil {
+		log.Fatalf("inferring: %v", err)
+	}
+	acc, err := crowdrank.Accuracy(res.Ranking, truth)
+	if err != nil {
+		log.Fatalf("scoring: %v", err)
+	}
+
+	fmt.Printf("ranking accuracy with %d spammers among %d workers: %.4f\n\n", spammers, total, acc)
+	fmt.Printf("%-8s %-10s %-14s %-16s %s\n", "worker", "votes", "trueAccuracy", "inferredQuality", "kind")
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return res.WorkerQuality[order[a]] > res.WorkerQuality[order[b]]
+	})
+	for _, w := range order {
+		kind := "honest"
+		if w >= honest {
+			kind = "SPAMMER"
+		}
+		fmt.Printf("%-8d %-10d %-14.3f %-16.3f %s\n",
+			w, answered[w], float64(correct[w])/float64(answered[w]), res.WorkerQuality[w], kind)
+	}
+	fmt.Println("\ninferred quality orders workers like their (hidden) true accuracy —")
+	fmt.Println("spammers sink to the bottom without any gold-standard questions.")
+}

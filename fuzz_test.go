@@ -1,0 +1,92 @@
+package crowdrank
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadVotesCSV checks that arbitrary input never panics the CSV parser
+// and that successfully parsed votes survive a write/read round trip.
+func FuzzReadVotesCSV(f *testing.F) {
+	f.Add("worker,i,j,prefers_i\n0,1,2,true\n")
+	f.Add("0,1,2,false\n3,4,5,true\n")
+	f.Add("")
+	f.Add("worker,i,j,prefers_i\n")
+	f.Add("a,b,c,d\n")
+	f.Add("0,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		votes, err := ReadVotesCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteVotesCSV(&buf, votes); err != nil {
+			t.Fatalf("re-encoding parsed votes failed: %v", err)
+		}
+		again, err := ReadVotesCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing re-encoded votes failed: %v", err)
+		}
+		if len(again) != len(votes) {
+			t.Fatalf("round trip changed vote count: %d -> %d", len(votes), len(again))
+		}
+		for i := range votes {
+			if again[i] != votes[i] {
+				t.Fatalf("round trip changed vote %d: %+v -> %+v", i, votes[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzKendallDistance checks the metric's bounds and the Knight/naive
+// agreement on arbitrary byte-derived permutations.
+func FuzzKendallDistance(f *testing.F) {
+	f.Add([]byte{1, 0, 2}, []byte{0, 1, 2})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{5}, []byte{7})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		// Derive two permutations of the same length from the fuzz input by
+		// sorting object ids by byte value (stable), so inputs always
+		// validate.
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 || n > 64 {
+			return
+		}
+		pa := permFromBytes(a[:n])
+		pb := permFromBytes(b[:n])
+		d, err := KendallTauDistance(pa, pb)
+		if err != nil {
+			t.Fatalf("valid permutations rejected: %v", err)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("distance %v out of [0,1]", d)
+		}
+		back, err := KendallTauDistance(pb, pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != back {
+			t.Fatalf("distance not symmetric: %v vs %v", d, back)
+		}
+	})
+}
+
+// permFromBytes builds a permutation of {0..n-1} ordered by the byte keys
+// (stable insertion sort keeps it deterministic).
+func permFromBytes(keys []byte) []int {
+	n := len(keys)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && keys[perm[j]] < keys[perm[j-1]]; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	return perm
+}

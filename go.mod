@@ -1,0 +1,3 @@
+module crowdrank
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package btl implements the plain Bradley-Terry-Luce model (Bradley &
+// Terry 1952, reference [19] of the paper) fitted by minorize-maximize
+// iterations: every object gets a positive strength theta_i with
+// P(i beats j) = theta_i / (theta_i + theta_j), and votes are aggregated
+// without any worker-reliability modeling. It serves as the scientific
+// control between the naive majority baselines and CrowdBT — the
+// difference between BTL and CrowdBT isolates the value of modeling worker
+// quality.
+package btl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdrank/internal/crowd"
+)
+
+// Params tunes the MM fit.
+type Params struct {
+	// MaxIterations caps the minorize-maximize loop.
+	MaxIterations int
+	// Tolerance declares convergence when strengths change by less than
+	// this (L-infinity, after normalization).
+	Tolerance float64
+	// Smoothing adds this pseudo-count of wins in each direction of every
+	// compared pair, keeping strengths finite when an object wins or loses
+	// every comparison.
+	Smoothing float64
+}
+
+// DefaultParams returns a fit configuration suitable for the reproduction
+// workloads.
+func DefaultParams() Params {
+	return Params{MaxIterations: 200, Tolerance: 1e-9, Smoothing: 0.1}
+}
+
+func (p Params) validate() error {
+	if p.MaxIterations < 1 {
+		return fmt.Errorf("btl: MaxIterations must be >= 1, got %d", p.MaxIterations)
+	}
+	if p.Tolerance < 0 {
+		return fmt.Errorf("btl: negative tolerance %v", p.Tolerance)
+	}
+	if p.Smoothing < 0 {
+		return fmt.Errorf("btl: negative smoothing %v", p.Smoothing)
+	}
+	return nil
+}
+
+// Model holds the fitted strengths.
+type Model struct {
+	// Strengths are the BTL theta parameters, normalized to sum to 1.
+	Strengths []float64
+	// Iterations performed and whether the tolerance was met.
+	Iterations int
+	Converged  bool
+}
+
+// Ranking returns the objects by descending strength (ties by object id).
+func (m *Model) Ranking() []int {
+	order := make([]int, len(m.Strengths))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return m.Strengths[order[a]] > m.Strengths[order[b]]
+	})
+	return order
+}
+
+// Fit estimates BTL strengths from the votes with the classical MM
+// update theta_i <- W_i / sum_j (n_ij / (theta_i + theta_j)), where W_i is
+// object i's total wins and n_ij the number of comparisons between i and j.
+func Fit(n int, votes []crowd.Vote, p Params) (*Model, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("btl: need at least two objects, got n=%d", n)
+	}
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("btl: no votes")
+	}
+
+	// wins[i][j] = number of votes preferring i over j (smoothed).
+	type pairKey struct{ i, j int }
+	wins := make(map[pairKey]float64)
+	for idx, v := range votes {
+		if v.I < 0 || v.I >= n || v.J < 0 || v.J >= n || v.I == v.J {
+			return nil, fmt.Errorf("btl: vote %d has invalid pair (%d,%d)", idx, v.I, v.J)
+		}
+		winner, loser := v.I, v.J
+		if !v.PrefersI {
+			winner, loser = v.J, v.I
+		}
+		wins[pairKey{winner, loser}]++
+	}
+	if p.Smoothing > 0 {
+		seen := make(map[pairKey]bool, len(wins))
+		for k := range wins {
+			lo, hi := k.i, k.j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			seen[pairKey{lo, hi}] = true
+		}
+		for k := range seen {
+			wins[pairKey{k.i, k.j}] += p.Smoothing
+			wins[pairKey{k.j, k.i}] += p.Smoothing
+		}
+	}
+
+	// Adjacency for the MM update.
+	type opponent struct {
+		j     int
+		games float64 // n_ij
+	}
+	totalWins := make([]float64, n)
+	opponents := make([][]opponent, n)
+	gameCount := make(map[pairKey]float64)
+	for k, w := range wins {
+		totalWins[k.i] += w
+		lo, hi := k.i, k.j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		gameCount[pairKey{lo, hi}] += w
+	}
+	for k, games := range gameCount {
+		opponents[k.i] = append(opponents[k.i], opponent{j: k.j, games: games})
+		opponents[k.j] = append(opponents[k.j], opponent{j: k.i, games: games})
+	}
+
+	theta := make([]float64, n)
+	for i := range theta {
+		theta[i] = 1.0 / float64(n)
+	}
+	next := make([]float64, n)
+	model := &Model{Strengths: theta}
+
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		model.Iterations = iter + 1
+		for i := 0; i < n; i++ {
+			denom := 0.0
+			for _, op := range opponents[i] {
+				denom += op.games / (theta[i] + theta[op.j])
+			}
+			if denom <= 0 {
+				next[i] = theta[i] // isolated object: keep its strength
+				continue
+			}
+			next[i] = totalWins[i] / denom
+			if next[i] < 1e-12 {
+				next[i] = 1e-12
+			}
+		}
+		normalize(next)
+		delta := 0.0
+		for i := range theta {
+			d := math.Abs(next[i] - theta[i])
+			if d > delta {
+				delta = d
+			}
+		}
+		copy(theta, next)
+		if delta < p.Tolerance {
+			model.Converged = true
+			break
+		}
+	}
+	return model, nil
+}
+
+func normalize(theta []float64) {
+	sum := 0.0
+	for _, v := range theta {
+		sum += v
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range theta {
+		theta[i] /= sum
+	}
+}

@@ -1,0 +1,134 @@
+package btl
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/kendall"
+)
+
+func vote(w, i, j int, prefersI bool) crowd.Vote {
+	return crowd.Vote{Worker: w, I: i, J: j, PrefersI: prefersI}
+}
+
+func TestFitValidation(t *testing.T) {
+	good := []crowd.Vote{vote(0, 0, 1, true)}
+	if _, err := Fit(1, good, DefaultParams()); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := Fit(3, nil, DefaultParams()); err == nil {
+		t.Error("no votes should fail")
+	}
+	if _, err := Fit(3, []crowd.Vote{vote(0, 0, 0, true)}, DefaultParams()); err == nil {
+		t.Error("self pair should fail")
+	}
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.MaxIterations = 0 },
+		func(p *Params) { p.Tolerance = -1 },
+		func(p *Params) { p.Smoothing = -1 },
+	} {
+		bad := DefaultParams()
+		mutate(&bad)
+		if _, err := Fit(3, good, bad); err == nil {
+			t.Errorf("invalid params %+v should fail", bad)
+		}
+	}
+}
+
+func TestFitRecoversOrder(t *testing.T) {
+	// Full coverage, 10% error rate: BTL should recover the identity order
+	// nearly perfectly.
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 15
+	var votes []crowd.Vote
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for rep := 0; rep < 10; rep++ {
+				votes = append(votes, vote(rep, i, j, rng.Float64() >= 0.1))
+			}
+		}
+	}
+	model, err := Fit(n, votes, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Converged {
+		t.Error("MM should converge on this input")
+	}
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	acc, err := kendall.Accuracy(model.Ranking(), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	// Strengths are normalized and ordered with the ranking.
+	sum := 0.0
+	for _, s := range model.Strengths {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("strengths sum to %v", sum)
+	}
+}
+
+func TestFitStrengthRatiosMatchWinRates(t *testing.T) {
+	// Two objects, 3:1 win ratio -> theta_0/theta_1 ~ 3.
+	var votes []crowd.Vote
+	for rep := 0; rep < 300; rep++ {
+		votes = append(votes, vote(0, 0, 1, rep%4 != 0))
+	}
+	p := DefaultParams()
+	p.Smoothing = 0
+	model, err := Fit(2, votes, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := model.Strengths[0] / model.Strengths[1]
+	if math.Abs(ratio-3) > 0.05 {
+		t.Errorf("strength ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestFitUnanimousWinnerStaysFinite(t *testing.T) {
+	// Object 0 wins every vote: smoothing must keep all strengths positive
+	// and the winner on top.
+	var votes []crowd.Vote
+	for rep := 0; rep < 20; rep++ {
+		votes = append(votes, vote(0, 0, 1, true), vote(0, 0, 2, true))
+	}
+	model, err := Fit(3, votes, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Ranking()[0] != 0 {
+		t.Errorf("ranking = %v", model.Ranking())
+	}
+	for i, s := range model.Strengths {
+		if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+			t.Errorf("strength[%d] = %v", i, s)
+		}
+	}
+}
+
+func TestFitIsolatedObject(t *testing.T) {
+	// Object 3 never compared: must keep a finite strength and the fit must
+	// not crash.
+	votes := []crowd.Vote{vote(0, 0, 1, true), vote(0, 1, 2, true)}
+	model, err := Fit(4, votes, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Strengths[3] <= 0 {
+		t.Errorf("isolated object strength = %v", model.Strengths[3])
+	}
+	if len(model.Ranking()) != 4 {
+		t.Error("ranking must cover all objects")
+	}
+}

@@ -1,0 +1,224 @@
+package crowdbt
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/kendall"
+	"crowdrank/internal/platform"
+	"crowdrank/internal/simulate"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 51)) }
+
+func vote(w, i, j int, prefersI bool) crowd.Vote {
+	return crowd.Vote{Worker: w, I: i, J: j, PrefersI: prefersI}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// identityVotes builds full-coverage votes following the identity order
+// with per-worker error rates.
+func identityVotes(n int, errRates []float64, rng *rand.Rand) []crowd.Vote {
+	var votes []crowd.Vote
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for w, e := range errRates {
+				votes = append(votes, vote(w, i, j, rng.Float64() >= e))
+			}
+		}
+	}
+	return votes
+}
+
+func TestFitValidation(t *testing.T) {
+	p := DefaultParams()
+	good := []crowd.Vote{vote(0, 0, 1, true)}
+	if _, err := Fit(1, 1, good, p); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := Fit(2, 0, good, p); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := Fit(2, 1, nil, p); err == nil {
+		t.Error("no votes should fail")
+	}
+	if _, err := Fit(2, 1, []crowd.Vote{vote(3, 0, 1, true)}, p); err == nil {
+		t.Error("invalid vote should fail")
+	}
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.LearningRate = 0 },
+		func(p *Params) { p.Epochs = 0 },
+		func(p *Params) { p.Lambda = -1 },
+		func(p *Params) { p.EtaPrior = -1 },
+		func(p *Params) { p.EtaPriorMean = 0 },
+		func(p *Params) { p.EtaPriorMean = 1 },
+	} {
+		bad := DefaultParams()
+		mutate(&bad)
+		if _, err := Fit(2, 1, good, bad); err == nil {
+			t.Errorf("invalid params %+v should fail", bad)
+		}
+	}
+}
+
+func TestFitRecoversCleanOrder(t *testing.T) {
+	rng := newRNG(1)
+	votes := identityVotes(10, []float64{0.05, 0.05, 0.05, 0.05}, rng)
+	model, err := Fit(10, 4, votes, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := kendall.Accuracy(model.Ranking(), identity(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("clean-order accuracy = %v", acc)
+	}
+	if model.Epochs != DefaultParams().Epochs {
+		t.Errorf("Epochs = %d", model.Epochs)
+	}
+}
+
+func TestFitIdentifiesAdversarialWorker(t *testing.T) {
+	// Three honest workers and one adversary who always inverts: the
+	// adversary's eta must come out lowest.
+	rng := newRNG(2)
+	votes := identityVotes(8, []float64{0.05, 0.05, 0.05, 0.95}, rng)
+	model, err := Fit(8, 4, votes, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if model.Reliability[3] >= model.Reliability[w] {
+			t.Errorf("adversary eta %v not below honest worker %d eta %v",
+				model.Reliability[3], w, model.Reliability[w])
+		}
+	}
+	// And the score ranking must still be correct: the model should learn
+	// to flip the adversary rather than the order.
+	acc, err := kendall.Accuracy(model.Ranking(), identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("accuracy with adversary = %v", acc)
+	}
+}
+
+func TestFitLikelihoodImproves(t *testing.T) {
+	rng := newRNG(3)
+	votes := identityVotes(6, []float64{0.1, 0.2}, rng)
+	short := DefaultParams()
+	short.Epochs = 1
+	long := DefaultParams()
+	long.Epochs = 100
+	m1, err := Fit(6, 2, votes, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(6, 2, votes, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.LogLikelihood < m1.LogLikelihood {
+		t.Errorf("likelihood decreased with more epochs: %v -> %v",
+			m1.LogLikelihood, m2.LogLikelihood)
+	}
+}
+
+func TestActiveRunsToBudget(t *testing.T) {
+	rng := newRNG(4)
+	n, m := 12, 6
+	truth, err := simulate.GroundTruth(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := simulate.NewCrowd(m, simulate.Gaussian, simulate.MediumQuality, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := simulate.NewGroundTruthOracle(pool, truth, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := platform.Budget{Total: 40, Reward: 1, WorkersPerTask: 2} // 20 rounds
+	session, err := platform.NewInteractiveSession(oracle, budget, time.Minute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultActiveParams()
+	p.Fit.Epochs = 30
+	model, err := Active(session, n, m, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.Rounds() != 20 {
+		t.Errorf("rounds = %d, want 20", session.Rounds())
+	}
+	if session.SimulatedLatency() != 20*time.Minute {
+		t.Errorf("latency = %v", session.SimulatedLatency())
+	}
+	if err := kendall.ValidatePermutation(model.Ranking()); err != nil {
+		t.Fatalf("ranking invalid: %v", err)
+	}
+}
+
+func TestActiveValidation(t *testing.T) {
+	rng := newRNG(5)
+	pool, _ := simulate.NewCrowdFromSigmas([]float64{0.1})
+	truth := []int{0, 1}
+	oracle, _ := simulate.NewGroundTruthOracle(pool, truth, rng)
+	budget := platform.Budget{Total: 2, Reward: 1, WorkersPerTask: 1}
+	session, _ := platform.NewInteractiveSession(oracle, budget, 0, rng)
+
+	if _, err := Active(nil, 2, 1, DefaultActiveParams(), rng); err == nil {
+		t.Error("nil session should fail")
+	}
+	if _, err := Active(session, 2, 1, DefaultActiveParams(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	bad := DefaultActiveParams()
+	bad.CandidatePairs = 0
+	if _, err := Active(session, 2, 1, bad, rng); err == nil {
+		t.Error("CandidatePairs=0 should fail")
+	}
+	bad = DefaultActiveParams()
+	bad.RefitEvery = 0
+	if _, err := Active(session, 2, 1, bad, rng); err == nil {
+		t.Error("RefitEvery=0 should fail")
+	}
+	bad = DefaultActiveParams()
+	bad.ExplorationEpsilon = 2
+	if _, err := Active(session, 2, 1, bad, rng); err == nil {
+		t.Error("epsilon>1 should fail")
+	}
+	if _, err := Active(session, 1, 1, DefaultActiveParams(), rng); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if sigmoid(0) != 0.5 {
+		t.Error("sigmoid(0) != 0.5")
+	}
+	if sigmoid(50) < 0.999 || sigmoid(-50) > 0.001 {
+		t.Error("sigmoid saturation wrong")
+	}
+	// Stability: extreme arguments must not produce NaN.
+	for _, x := range []float64{-1e9, 1e9} {
+		s := sigmoid(x)
+		if s < 0 || s > 1 || s != s {
+			t.Errorf("sigmoid(%v) = %v", x, s)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package qs
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/kendall"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 41)) }
+
+func vote(w, i, j int, prefersI bool) crowd.Vote {
+	return crowd.Vote{Worker: w, I: i, J: j, PrefersI: prefersI}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestRankValidation(t *testing.T) {
+	if _, err := Rank(3, []crowd.Vote{vote(0, 0, 1, true)}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := Rank(3, nil, newRNG(1)); err == nil {
+		t.Error("no votes should fail")
+	}
+}
+
+func TestRankFullMajorityRecoversOrder(t *testing.T) {
+	// All pairs compared, strong majority: quicksort must recover the
+	// identity order.
+	n := 12
+	var votes []crowd.Vote
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for w := 0; w < 5; w++ {
+				votes = append(votes, vote(w, i, j, w != 0)) // 4-1 majority
+			}
+		}
+	}
+	r, err := Rank(n, votes, newRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r {
+		if v != i {
+			t.Fatalf("full-information QS ranking %v should be identity", r)
+		}
+	}
+}
+
+func TestRankIsPermutation(t *testing.T) {
+	votes := []crowd.Vote{vote(0, 0, 1, true), vote(0, 3, 4, false)}
+	r, err := Rank(6, votes, newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kendall.ValidatePermutation(r); err != nil {
+		t.Fatalf("not a permutation: %v", err)
+	}
+}
+
+func TestRankDegradesWithMissingPairs(t *testing.T) {
+	// With only 20% of pairs compared, accuracy must sit well below the
+	// full-information case (the paper's core finding about QS).
+	rng := newRNG(4)
+	n := 30
+	meanAcc := func(coverage float64) float64 {
+		total := 0.0
+		const trials = 15
+		for trial := 0; trial < trials; trial++ {
+			var votes []crowd.Vote
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if rng.Float64() > coverage {
+						continue
+					}
+					for w := 0; w < 5; w++ {
+						votes = append(votes, vote(w, i, j, true))
+					}
+				}
+			}
+			if len(votes) == 0 {
+				continue
+			}
+			r, err := Rank(n, votes, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := kendall.Accuracy(r, identity(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += acc
+		}
+		return total / trials
+	}
+	full, sparse := meanAcc(1.0), meanAcc(0.2)
+	if full < 0.99 {
+		t.Errorf("full coverage accuracy = %v", full)
+	}
+	if sparse > full-0.1 {
+		t.Errorf("sparse QS (%v) should lose clearly to full QS (%v)", sparse, full)
+	}
+}
+
+func TestRankDeterministicPerSeed(t *testing.T) {
+	votes := []crowd.Vote{vote(0, 0, 1, true), vote(1, 1, 2, true)}
+	a, _ := Rank(4, votes, newRNG(9))
+	b, _ := Rank(4, votes, newRNG(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different rankings: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package rc implements the RepeatChoice rank-aggregation baseline (Ailon,
+// "Aggregation of partial rankings, p-ratings and top-m lists",
+// Algorithmica 2010), the paper's representative of the rank-aggregation
+// category (Section VI-A2).
+//
+// RepeatChoice aggregates partial rankings by repeatedly choosing a random
+// input voter and using that voter's preferences to refine the current
+// blocks of tied objects. In the crowdsourced setting each worker
+// contributes only a sparse set of pairwise preferences (a partial
+// tournament), so a block is refined by ordering its members by the chosen
+// worker's win counts restricted to the block; objects the worker never
+// compared stay tied for later voters. When voters run out, remaining ties
+// break uniformly at random.
+//
+// With a small selection ratio each worker has seen so few pairs that the
+// refinement signal is weak — which is exactly why the paper finds RC no
+// better than a random guess under sparse budgets (Table I, Figure 6).
+package rc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"crowdrank/internal/crowd"
+)
+
+// Rank aggregates the workers' pairwise preferences into a full ranking of
+// n objects by RepeatChoice. rng drives the voter order and all
+// tie-breaking.
+func Rank(n int, votes []crowd.Vote, rng *rand.Rand) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rc: need at least one object, got n=%d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("rc: nil random source")
+	}
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("rc: no votes")
+	}
+	for idx, v := range votes {
+		if v.I < 0 || v.I >= n || v.J < 0 || v.J >= n || v.I == v.J {
+			return nil, fmt.Errorf("rc: vote %d has invalid pair (%d,%d)", idx, v.I, v.J)
+		}
+	}
+
+	byWorker := crowd.ByWorker(votes)
+	workers := crowd.Workers(votes)
+	rng.Shuffle(len(workers), func(i, j int) { workers[i], workers[j] = workers[j], workers[i] })
+
+	blocks := [][]int{initialBlock(n)}
+	for _, w := range workers {
+		if allSingletons(blocks) {
+			break
+		}
+		blocks = refine(blocks, byWorker[w])
+	}
+
+	// Break residual ties uniformly at random.
+	ranking := make([]int, 0, n)
+	for _, b := range blocks {
+		if len(b) > 1 {
+			rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		}
+		ranking = append(ranking, b...)
+	}
+	return ranking, nil
+}
+
+func initialBlock(n int) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = i
+	}
+	return b
+}
+
+func allSingletons(blocks [][]int) bool {
+	for _, b := range blocks {
+		if len(b) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// refine splits every multi-object block according to one voter's pairwise
+// preferences: members are ordered by net wins (wins minus losses) within
+// the block, and members with equal net wins form a new sub-block.
+func refine(blocks [][]int, workerVotes []crowd.Vote) [][]int {
+	// Index this worker's preferences for O(1) lookup.
+	type ordered struct{ winner, loser int }
+	prefs := make(map[ordered]bool, len(workerVotes))
+	for _, v := range workerVotes {
+		if v.PrefersI {
+			prefs[ordered{winner: v.I, loser: v.J}] = true
+		} else {
+			prefs[ordered{winner: v.J, loser: v.I}] = true
+		}
+	}
+
+	var out [][]int
+	for _, b := range blocks {
+		if len(b) <= 1 {
+			out = append(out, b)
+			continue
+		}
+		net := make(map[int]int, len(b))
+		informed := make(map[int]bool, len(b))
+		for ai := 0; ai < len(b); ai++ {
+			for bi := ai + 1; bi < len(b); bi++ {
+				x, y := b[ai], b[bi]
+				switch {
+				case prefs[ordered{winner: x, loser: y}]:
+					net[x]++
+					net[y]--
+					informed[x], informed[y] = true, true
+				case prefs[ordered{winner: y, loser: x}]:
+					net[y]++
+					net[x]--
+					informed[x], informed[y] = true, true
+				}
+			}
+		}
+		if len(informed) == 0 {
+			out = append(out, b)
+			continue
+		}
+		sorted := append([]int(nil), b...)
+		sort.SliceStable(sorted, func(i, j int) bool { return net[sorted[i]] > net[sorted[j]] })
+		// Group equal net-win members into sub-blocks.
+		start := 0
+		for i := 1; i <= len(sorted); i++ {
+			if i == len(sorted) || net[sorted[i]] != net[sorted[start]] {
+				out = append(out, sorted[start:i])
+				start = i
+			}
+		}
+	}
+	return out
+}

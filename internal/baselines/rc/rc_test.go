@@ -1,0 +1,129 @@
+package rc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/kendall"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 31)) }
+
+func vote(w, i, j int, prefersI bool) crowd.Vote {
+	return crowd.Vote{Worker: w, I: i, J: j, PrefersI: prefersI}
+}
+
+func TestRankValidation(t *testing.T) {
+	if _, err := Rank(0, []crowd.Vote{vote(0, 0, 1, true)}, newRNG(1)); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Rank(3, nil, newRNG(1)); err == nil {
+		t.Error("no votes should fail")
+	}
+	if _, err := Rank(3, []crowd.Vote{vote(0, 0, 1, true)}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := Rank(3, []crowd.Vote{vote(0, 0, 4, true)}, newRNG(1)); err == nil {
+		t.Error("invalid pair should fail")
+	}
+}
+
+func TestRankIsPermutation(t *testing.T) {
+	votes := []crowd.Vote{
+		vote(0, 0, 1, true), vote(0, 2, 3, false), vote(1, 1, 2, true),
+	}
+	r, err := Rank(5, votes, newRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kendall.ValidatePermutation(r); err != nil {
+		t.Fatalf("output not a permutation: %v (%v)", r, err)
+	}
+}
+
+func TestRankRecoversOrderFromDenseVoters(t *testing.T) {
+	// RC works when individual voters carry dense preferences: give each
+	// of 4 perfect workers every pair of 8 objects in identity order.
+	var votes []crowd.Vote
+	n := 8
+	for w := 0; w < 4; w++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				votes = append(votes, vote(w, i, j, true))
+			}
+		}
+	}
+	r, err := Rank(n, votes, newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r {
+		if v != i {
+			t.Fatalf("dense perfect voters: ranking %v should be the identity", r)
+		}
+	}
+}
+
+func TestRankDegradesUnderSparseVotes(t *testing.T) {
+	// The paper's finding: with sparse per-worker coverage RC is close to a
+	// random guess. Give 30 workers one random pair each over 30 objects
+	// and check the result is far from perfect (and still a permutation).
+	rng := newRNG(4)
+	n := 30
+	truthAcc := 0.0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		var votes []crowd.Vote
+		for w := 0; w < 30; w++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				j = (i + 1) % n
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			votes = append(votes, vote(w, lo, hi, true)) // truthful: identity order
+		}
+		r, err := Rank(n, votes, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		acc, err := kendall.Accuracy(r, identity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthAcc += acc
+	}
+	mean := truthAcc / trials
+	if mean > 0.75 {
+		t.Errorf("sparse RC accuracy %v unexpectedly high; paper reports near-random", mean)
+	}
+	if mean < 0.3 {
+		t.Errorf("sparse RC accuracy %v below random-guess floor", mean)
+	}
+}
+
+func TestRankDeterministicPerSeed(t *testing.T) {
+	votes := []crowd.Vote{
+		vote(0, 0, 1, true), vote(1, 1, 2, false), vote(2, 0, 2, true),
+	}
+	a, err := Rank(4, votes, newRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rank(4, votes, newRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different rankings: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"crowdrank/internal/baselines/btl"
+	"crowdrank/internal/baselines/crowdbt"
+	"crowdrank/internal/baselines/qs"
+	"crowdrank/internal/baselines/rc"
+	"crowdrank/internal/kendall"
+	"crowdrank/internal/platform"
+	"crowdrank/internal/simulate"
+)
+
+// baselineResult reports one competing method on one round.
+type baselineResult struct {
+	Accuracy float64
+	Tau      float64
+	Elapsed  time.Duration
+	// Latency is the simulated marketplace turnaround an interactive method
+	// would incur (zero for non-interactive methods).
+	Latency time.Duration
+}
+
+// runSAPS runs the paper's pipeline on a shared round.
+func runSAPS(round *Round) (*baselineResult, error) {
+	res, err := InferRound(round)
+	if err != nil {
+		return nil, err
+	}
+	return &baselineResult{Accuracy: res.Accuracy, Tau: res.Tau, Elapsed: res.Elapsed}, nil
+}
+
+// runRC runs the RepeatChoice baseline on a shared round.
+func runRC(round *Round) (*baselineResult, error) {
+	rng := rand.New(rand.NewPCG(round.Cfg.Seed^0xaa11, 5))
+	start := time.Now()
+	ranking, err := rc.Rank(round.Cfg.N, round.Votes, rng)
+	if err != nil {
+		return nil, err
+	}
+	return scoreBaseline(ranking, round, time.Since(start), 0)
+}
+
+// runQS runs the QuickSort Condorcet baseline on a shared round.
+func runQS(round *Round) (*baselineResult, error) {
+	rng := rand.New(rand.NewPCG(round.Cfg.Seed^0xbb22, 5))
+	start := time.Now()
+	ranking, err := qs.Rank(round.Cfg.N, round.Votes, rng)
+	if err != nil {
+		return nil, err
+	}
+	return scoreBaseline(ranking, round, time.Since(start), 0)
+}
+
+// runBTL runs the plain Bradley-Terry control baseline on a shared round.
+func runBTL(round *Round) (*baselineResult, error) {
+	start := time.Now()
+	model, err := btl.Fit(round.Cfg.N, round.Votes, btl.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return scoreBaseline(model.Ranking(), round, time.Since(start), 0)
+}
+
+// crowdBTBudget mirrors the round's budget for the interactive protocol:
+// the same number of unique comparisons at the same workers-per-task.
+func crowdBTBudget(round *Round) platform.Budget {
+	return platform.Budget{
+		Total:          float64(round.L * round.Cfg.WorkersPerTask),
+		Reward:         1,
+		WorkersPerTask: round.Cfg.WorkersPerTask,
+	}
+}
+
+// runCrowdBT runs the interactive CrowdBT baseline against a fresh oracle
+// with the same worker pool statistics and the same budget as the round.
+// roundLatency models per-round marketplace turnaround.
+func runCrowdBT(round *Round, refitEvery int, roundLatency time.Duration) (*baselineResult, error) {
+	rng := rand.New(rand.NewPCG(round.Cfg.Seed^0xcc33, 5))
+	pool, err := simulate.NewCrowd(round.Cfg.Workers, round.Cfg.Dist, round.Cfg.Level, rng)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := simulate.NewGroundTruthOracle(pool, round.Truth, rng)
+	if err != nil {
+		return nil, err
+	}
+	session, err := platform.NewInteractiveSession(oracle, crowdBTBudget(round), roundLatency, rng)
+	if err != nil {
+		return nil, err
+	}
+	params := crowdbt.DefaultActiveParams()
+	params.RefitEvery = refitEvery
+	params.Fit.Epochs = 25
+	start := time.Now()
+	model, err := crowdbt.Active(session, round.Cfg.N, round.Cfg.Workers, params, rng)
+	if err != nil {
+		return nil, err
+	}
+	return scoreBaseline(model.Ranking(), round, time.Since(start), session.SimulatedLatency())
+}
+
+func scoreBaseline(ranking []int, round *Round, elapsed, latency time.Duration) (*baselineResult, error) {
+	acc, err := kendall.Accuracy(ranking, round.Truth)
+	if err != nil {
+		return nil, err
+	}
+	tau, err := kendall.Tau(ranking, round.Truth)
+	if err != nil {
+		return nil, err
+	}
+	return &baselineResult{Accuracy: acc, Tau: tau, Elapsed: elapsed, Latency: latency}, nil
+}
+
+// Table1 reproduces Table I: SAPS versus RC, QS and (interactive) CrowdBT
+// at r = 0.5 across object counts and both quality distributions, reporting
+// accuracy, Kendall tau and time. Shapes to reproduce: SAPS and CrowdBT are
+// accurate while RC and QS collapse under the sparse per-worker coverage;
+// RC is fastest; CrowdBT is orders of magnitude slower end-to-end because
+// it is interactive (its simulated marketplace latency is reported
+// separately).
+func Table1(w io.Writer, scale Scale) error {
+	header(w, "Table I: comparison with baselines (r=0.5)")
+	sizes := []int{100, 200, 300}
+	refitEvery := 200
+	if scale == ScaleQuick {
+		sizes = []int{30, 60}
+		refitEvery = 50
+	}
+	const roundLatency = 30 * time.Second // one marketplace turnaround per comparison
+	t := newTable(w, "distribution", "n", "method", "accuracy", "tau", "compute", "latency(sim)")
+	for _, dist := range bothDistributions {
+		for _, n := range sizes {
+			cfg := DefaultRunConfig(n, 0.5, uint64(n)*3+uint64(dist)*17)
+			cfg.Dist = dist
+			round, err := NewRound(cfg)
+			if err != nil {
+				return fmt.Errorf("table1 n=%d: %w", n, err)
+			}
+			methods := []struct {
+				name string
+				run  func() (*baselineResult, error)
+			}{
+				{"SAPS", func() (*baselineResult, error) { return runSAPS(round) }},
+				{"RC", func() (*baselineResult, error) { return runRC(round) }},
+				{"QS", func() (*baselineResult, error) { return runQS(round) }},
+				{"BTL", func() (*baselineResult, error) { return runBTL(round) }},
+				{"CrowdBT", func() (*baselineResult, error) { return runCrowdBT(round, refitEvery, roundLatency) }},
+			}
+			for _, m := range methods {
+				res, err := m.run()
+				if err != nil {
+					return fmt.Errorf("table1 %s n=%d: %w", m.name, n, err)
+				}
+				t.row(dist.String(), n, m.name, res.Accuracy, res.Tau, res.Elapsed, res.Latency)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6 reproduces Figure 6: SAPS versus the baselines across selection
+// ratios and worker-quality levels (Gaussian distribution, as in the
+// paper's reported subset). Shapes to reproduce: accuracy grows with r and
+// with quality for every method; SAPS is always top-2; RC/QS are no better
+// than random at small r.
+func Fig6(w io.Writer, scale Scale) error {
+	header(w, "Figure 6: SAPS vs baselines across budget and worker quality (Gaussian)")
+	n := 100
+	ratios := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	refitEvery := 100
+	repeats := 3 // average over seeds: single runs are noisy at low quality
+	if scale == ScaleQuick {
+		n = 40
+		ratios = []float64{0.1, 0.5, 0.9}
+		refitEvery = 50
+		repeats = 1
+	}
+	levels := []simulate.QualityLevel{simulate.LowQuality, simulate.MediumQuality, simulate.HighQuality}
+	t := newTable(w, "quality", "ratio", "method", "accuracy", "tau")
+	methodNames := []string{"SAPS", "RC", "QS", "BTL", "CrowdBT"}
+	for _, level := range levels {
+		for _, r := range ratios {
+			accSum := make(map[string]float64, len(methodNames))
+			tauSum := make(map[string]float64, len(methodNames))
+			for rep := 0; rep < repeats; rep++ {
+				cfg := DefaultRunConfig(n, r, uint64(r*100)+uint64(level)*23+uint64(rep)*1009)
+				cfg.Level = level
+				round, err := NewRound(cfg)
+				if err != nil {
+					return fmt.Errorf("fig6 level=%v r=%v: %w", level, r, err)
+				}
+				methods := map[string]func() (*baselineResult, error){
+					"SAPS":    func() (*baselineResult, error) { return runSAPS(round) },
+					"RC":      func() (*baselineResult, error) { return runRC(round) },
+					"QS":      func() (*baselineResult, error) { return runQS(round) },
+					"BTL":     func() (*baselineResult, error) { return runBTL(round) },
+					"CrowdBT": func() (*baselineResult, error) { return runCrowdBT(round, refitEvery, 0) },
+				}
+				for _, name := range methodNames {
+					res, err := methods[name]()
+					if err != nil {
+						return fmt.Errorf("fig6 %s: %w", name, err)
+					}
+					accSum[name] += res.Accuracy
+					tauSum[name] += res.Tau
+				}
+			}
+			for _, name := range methodNames {
+				t.row(level.String(), fmt.Sprintf("%.1f", r), name,
+					accSum[name]/float64(repeats), tauSum[name]/float64(repeats))
+			}
+		}
+	}
+	return nil
+}

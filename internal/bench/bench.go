@@ -1,0 +1,232 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section VI) on the simulated substrate.
+// Each experiment prints the same rows/series the paper reports; the
+// per-experiment index in DESIGN.md maps figure/table ids to the functions
+// here.
+//
+// Two scales are supported: ScaleQuick shrinks the grids so the whole
+// battery runs in seconds (used by `go test -bench` and CI), ScalePaper
+// uses the paper's sizes (n up to 1000) and is what cmd/experiments runs by
+// default.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"crowdrank/internal/core"
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/kendall"
+	"crowdrank/internal/platform"
+	"crowdrank/internal/simulate"
+	"crowdrank/internal/taskgen"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// ScaleQuick shrinks every grid for fast runs.
+	ScaleQuick Scale = iota + 1
+	// ScalePaper reproduces the paper's sizes.
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleQuick:
+		return "quick"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// RunConfig describes one simulated crowdsourcing round plus inference.
+type RunConfig struct {
+	// N objects, budget as a selection ratio of all pairs.
+	N     int
+	Ratio float64
+	// Workers in the pool; WorkersPerTask answer each comparison.
+	Workers        int
+	WorkersPerTask int
+	// Dist and Level select the worker-quality scenario.
+	Dist  simulate.QualityDistribution
+	Level simulate.QualityLevel
+	// Seed drives every random choice in the round.
+	Seed uint64
+	// Opts configures the inference pipeline.
+	Opts core.Options
+}
+
+// DefaultRunConfig mirrors the common experimental setting.
+func DefaultRunConfig(n int, ratio float64, seed uint64) RunConfig {
+	return RunConfig{
+		N:              n,
+		Ratio:          ratio,
+		Workers:        30,
+		WorkersPerTask: 10,
+		Dist:           simulate.Gaussian,
+		Level:          simulate.MediumQuality,
+		Seed:           seed,
+		Opts:           core.DefaultOptions(),
+	}
+}
+
+// Round is the raw material of one simulated round, reusable across
+// competing inference methods.
+type Round struct {
+	Cfg   RunConfig
+	L     int
+	Votes []crowd.Vote
+	Truth []int
+}
+
+// NewRound simulates the crowdsourcing round described by cfg.
+func NewRound(cfg RunConfig) (*Round, error) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6b79c18aa9aafe71))
+	l, err := taskgen.PairsForRatio(cfg.N, cfg.Ratio)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := taskgen.Generate(cfg.N, l, rng)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := simulate.GroundTruth(cfg.N, rng)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := simulate.NewCrowd(cfg.Workers, cfg.Dist, cfg.Level, rng)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := simulate.NewGroundTruthOracle(pool, truth, rng)
+	if err != nil {
+		return nil, err
+	}
+	hits, err := platform.PackHITs(plan.Pairs(), 1)
+	if err != nil {
+		return nil, err
+	}
+	assigned, err := platform.AssignWorkers(hits, cfg.Workers, cfg.WorkersPerTask, rng)
+	if err != nil {
+		return nil, err
+	}
+	round, err := platform.RunNonInteractive(hits, assigned, oracle, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Round{Cfg: cfg, L: l, Votes: round.Votes, Truth: truth}, nil
+}
+
+// RunResult reports one pipeline run against the hidden truth.
+type RunResult struct {
+	Ranking         []int   // the inferred full ranking, best-first
+	Accuracy        float64 // 1 - Kendall tau distance
+	Tau             float64 // Kendall correlation
+	Elapsed         time.Duration
+	Timings         core.StepTimings
+	OneEdges        int
+	TruthIterations int
+	TruthConverged  bool
+	Votes           int
+	L               int
+}
+
+// Run simulates a round and infers the ranking with the paper's pipeline.
+func Run(cfg RunConfig) (*RunResult, error) {
+	round, err := NewRound(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return InferRound(round)
+}
+
+// InferRound runs the pipeline over an existing round.
+func InferRound(round *Round) (*RunResult, error) {
+	rng := rand.New(rand.NewPCG(round.Cfg.Seed^0x51afd54db5f78a11, round.Cfg.Seed))
+	start := time.Now()
+	res, err := core.Infer(round.Cfg.N, round.Cfg.Workers, round.Votes, round.Cfg.Opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	acc, err := kendall.Accuracy(res.Ranking, round.Truth)
+	if err != nil {
+		return nil, err
+	}
+	tau, err := kendall.Tau(res.Ranking, round.Truth)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Ranking:         res.Ranking,
+		Accuracy:        acc,
+		Tau:             tau,
+		Elapsed:         elapsed,
+		Timings:         res.Timings,
+		OneEdges:        res.OneEdges,
+		TruthIterations: res.TruthIterations,
+		TruthConverged:  res.TruthConverged,
+		Votes:           len(round.Votes),
+		L:               round.L,
+	}, nil
+}
+
+// table is a minimal fixed-width text table writer for experiment output.
+type table struct {
+	w       io.Writer
+	widths  []int
+	columns []string
+}
+
+func newTable(w io.Writer, columns ...string) *table {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+		if widths[i] < 10 {
+			widths[i] = 10
+		}
+	}
+	t := &table{w: w, widths: widths, columns: columns}
+	t.row(toAny(columns)...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		var s string
+		switch v := c.(type) {
+		case string:
+			s = v
+		case float64:
+			s = fmt.Sprintf("%.4f", v)
+		case time.Duration:
+			s = v.Round(time.Millisecond).String()
+		default:
+			s = fmt.Sprint(v)
+		}
+		width := 10
+		if i < len(t.widths) {
+			width = t.widths[i]
+		}
+		fmt.Fprintf(t.w, "%-*s  ", width, s)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesSaneResult(t *testing.T) {
+	cfg := DefaultRunConfig(40, 0.3, 99)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.5 || res.Accuracy > 1 {
+		t.Errorf("accuracy = %v", res.Accuracy)
+	}
+	if res.L == 0 || res.Votes != res.L*cfg.WorkersPerTask {
+		t.Errorf("L=%d votes=%d", res.L, res.Votes)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultRunConfig(30, 0.4, 7)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy != b.Accuracy || a.OneEdges != b.OneEdges {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestExperimentsRunAtQuickScale(t *testing.T) {
+	// Every experiment must complete at quick scale; spot-check that output
+	// contains its header and at least one data row.
+	experiments := map[string]func(io.Writer, Scale) error{
+		"fig3":       Fig3,
+		"fig4":       Fig4,
+		"fig5":       Fig5,
+		"table1":     Table1,
+		"fig6":       Fig6,
+		"amt":        AMT,
+		"conv":       Convergence,
+		"ablation":   Ablation,
+		"makespan":   Makespan,
+		"robustness": Robustness,
+		"workers":    Workers,
+		"topk":       TopK,
+	}
+	if testing.Short() {
+		// Keep only the cheapest in -short mode.
+		experiments = map[string]func(io.Writer, Scale) error{"fig5": Fig5, "conv": Convergence}
+	}
+	for name, fn := range experiments {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := fn(&buf, ScaleQuick); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s output has no header:\n%s", name, out)
+			}
+			if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+				t.Errorf("%s output too short:\n%s", name, out)
+			}
+		})
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleQuick.String() != "quick" || ScalePaper.String() != "paper" {
+		t.Error("scale names wrong")
+	}
+	if Scale(9).String() == "" {
+		t.Error("unknown scale should print")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf, "a", "b")
+	tab.row("x", 1.5)
+	tab.row(42, "y")
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "1.5000") {
+		t.Errorf("float formatting wrong: %q", lines[1])
+	}
+}
+
+func TestSpearmanFloats(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3, 0.4}
+	if rho := spearmanFloats(a, a); rho != 1 {
+		t.Errorf("self rho = %v", rho)
+	}
+	rev := []float64{0.4, 0.3, 0.2, 0.1}
+	if rho := spearmanFloats(a, rev); rho != -1 {
+		t.Errorf("reversed rho = %v", rho)
+	}
+}
+
+func TestRanksOf(t *testing.T) {
+	ranks := ranksOf([]float64{0.3, 0.1, 0.2})
+	want := []int{2, 0, 1}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestNewRoundDeterministic(t *testing.T) {
+	cfg := DefaultRunConfig(25, 0.4, 5)
+	a, err := NewRound(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRound(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Votes) != len(b.Votes) {
+		t.Fatal("vote counts differ")
+	}
+	for i := range a.Votes {
+		if a.Votes[i] != b.Votes[i] {
+			t.Fatal("rounds differ under the same config")
+		}
+	}
+}

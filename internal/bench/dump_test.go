@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDumpQuickOutputs prints a subset of quick-scale experiment tables for
+// manual inspection. It is skipped unless BENCH_DUMP is set, so regular test
+// runs stay quiet.
+func TestDumpQuickOutputs(t *testing.T) {
+	if os.Getenv("BENCH_DUMP") == "" {
+		t.Skip("set BENCH_DUMP=1 to dump experiment output")
+	}
+	for _, run := range []func() error{
+		func() error { return Table1(os.Stdout, ScaleQuick) },
+		func() error { return Fig6(os.Stdout, ScaleQuick) },
+		func() error { return AMT(os.Stdout, ScaleQuick) },
+	} {
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

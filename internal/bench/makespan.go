@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/des"
+	"crowdrank/internal/graph"
+	"crowdrank/internal/platform"
+	"crowdrank/internal/simulate"
+	"crowdrank/internal/taskgen"
+)
+
+// Makespan quantifies the paper's non-interactive-is-faster claim with the
+// discrete-event marketplace simulator: the same budget (l comparisons,
+// w workers each) is crowdsourced (a) as one non-interactive batch and
+// (b) one comparison at a time as interactive protocols require, and the
+// virtual wall-clock makespans are compared. The speedup grows with the
+// budget because batch answering parallelizes across the pool while the
+// interactive protocol serializes marketplace round-trips — the mechanism
+// behind the introduction's time-sensitivity argument.
+func Makespan(w io.Writer, scale Scale) error {
+	header(w, "Makespan: non-interactive batch vs interactive round-trips (DES marketplace)")
+	sizes := []int{50, 100, 200}
+	if scale == ScaleQuick {
+		sizes = []int{30, 60}
+	}
+	const (
+		ratio          = 0.3
+		workersPerTask = 5
+		poolSize       = 50
+	)
+	t := newTable(w, "n", "comparisons", "batch", "interactive", "speedup")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewPCG(uint64(n), 909))
+		l, err := taskgen.PairsForRatio(n, ratio)
+		if err != nil {
+			return fmt.Errorf("makespan n=%d: %w", n, err)
+		}
+		plan, err := taskgen.Generate(n, l, rng)
+		if err != nil {
+			return fmt.Errorf("makespan n=%d: %w", n, err)
+		}
+		truth, err := simulate.GroundTruth(n, rng)
+		if err != nil {
+			return err
+		}
+		pool, err := simulate.NewCrowd(poolSize, simulate.Gaussian, simulate.MediumQuality, rng)
+		if err != nil {
+			return err
+		}
+		oracle, err := simulate.NewGroundTruthOracle(pool, truth, rng)
+		if err != nil {
+			return err
+		}
+		pairs := plan.Pairs()
+		hits, err := platform.PackHITs(pairs, 1)
+		if err != nil {
+			return err
+		}
+
+		batchMarket, err := des.New(oracle, des.DefaultWorkerModel(), rand.New(rand.NewPCG(uint64(n), 1)))
+		if err != nil {
+			return err
+		}
+		batch, err := batchMarket.RunBatch(hits, workersPerTask)
+		if err != nil {
+			return fmt.Errorf("makespan batch n=%d: %w", n, err)
+		}
+
+		interMarket, err := des.New(oracle, des.DefaultWorkerModel(), rand.New(rand.NewPCG(uint64(n), 1)))
+		if err != nil {
+			return err
+		}
+		next := 0
+		inter, err := interMarket.RunInteractive(workersPerTask, len(pairs),
+			func(_ []crowd.Vote) (graph.Pair, bool) {
+				if next >= len(pairs) {
+					return graph.Pair{}, false
+				}
+				p := pairs[next]
+				next++
+				return p, true
+			})
+		if err != nil {
+			return fmt.Errorf("makespan interactive n=%d: %w", n, err)
+		}
+
+		speedup := float64(inter.Makespan) / float64(batch.Makespan)
+		t.row(n, l, roundDur(batch.Makespan), roundDur(inter.Makespan),
+			fmt.Sprintf("%.0fx", speedup))
+	}
+	return nil
+}
+
+func roundDur(d time.Duration) time.Duration { return d.Round(time.Second) }

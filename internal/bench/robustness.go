@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"crowdrank/internal/baselines/crowdbt"
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/simulate"
+	"crowdrank/internal/taskgen"
+)
+
+// Robustness stresses the pipeline beyond the paper's evaluation grid:
+//
+//   - adversary sweep: a growing fraction of the pool always inverts its
+//     votes, probing where weighted-majority truth discovery breaks (it
+//     cannot flip anti-correlated workers the way CrowdBT's eta < 1/2 can);
+//   - replication sweep: votes per comparison w from 1 to 15, showing the
+//     accuracy value of redundancy under a fixed task set;
+//   - pool-size sweep: the same total answer volume spread over more or
+//     fewer distinct workers, probing the truth-discovery identifiability
+//     limit (few workers = many answers each = good quality estimates).
+func Robustness(w io.Writer, scale Scale) error {
+	n := 60
+	if scale == ScaleQuick {
+		n = 30
+	}
+	if err := adversarySweep(w, n); err != nil {
+		return err
+	}
+	if err := replicationSweep(w, n); err != nil {
+		return err
+	}
+	return poolSweep(w, n)
+}
+
+// adversaryRound simulates a round where a fraction of workers always
+// invert the true preference and the rest err at 5%.
+func adversaryRound(n int, adversaries, honest int, seed uint64) (*Round, error) {
+	rng := rand.New(rand.NewPCG(seed, 404))
+	l, err := taskgen.PairsForRatio(n, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := taskgen.Generate(n, l, rng)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := simulate.GroundTruth(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, n)
+	for r, o := range truth {
+		pos[o] = r
+	}
+	total := adversaries + honest
+	var votes []crowd.Vote
+	for _, pr := range plan.Pairs() {
+		workers := rng.Perm(total)[:10]
+		for _, worker := range workers {
+			truthPref := pos[pr.I] < pos[pr.J]
+			prefers := truthPref
+			switch {
+			case worker < adversaries:
+				prefers = !truthPref // always inverts
+			case rng.Float64() < 0.05:
+				prefers = !truthPref // honest 5% slip
+			}
+			votes = append(votes, crowd.Vote{Worker: worker, I: pr.I, J: pr.J, PrefersI: prefers})
+		}
+	}
+	cfg := DefaultRunConfig(n, 0.5, seed)
+	cfg.Workers = total
+	return &Round{Cfg: cfg, L: l, Votes: votes, Truth: truth}, nil
+}
+
+func adversarySweep(w io.Writer, n int) error {
+	header(w, fmt.Sprintf("Robustness: adversarial worker fraction (n=%d, r=0.5, pool=20, w=10)", n))
+	t := newTable(w, "adversaries", "fraction", "pipeline", "crowdbt")
+	const pool = 20
+	for _, adversaries := range []int{0, 2, 4, 6, 8, 10} {
+		round, err := adversaryRound(n, adversaries, pool-adversaries, uint64(adversaries)*97+5)
+		if err != nil {
+			return fmt.Errorf("robustness adversaries=%d: %w", adversaries, err)
+		}
+		ours, err := InferRound(round)
+		if err != nil {
+			return err
+		}
+		bt, err := runCrowdBTBatch(round)
+		if err != nil {
+			return err
+		}
+		t.row(adversaries, fmt.Sprintf("%.2f", float64(adversaries)/pool),
+			ours.Accuracy, bt.Accuracy)
+	}
+	return nil
+}
+
+// runCrowdBTBatch fits CrowdBT offline on the round's votes (no interactive
+// protocol) for the adversary comparison.
+func runCrowdBTBatch(round *Round) (*baselineResult, error) {
+	model, err := crowdbt.Fit(round.Cfg.N, round.Cfg.Workers, round.Votes, crowdbt.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return scoreBaseline(model.Ranking(), round, 0, 0)
+}
+
+func replicationSweep(w io.Writer, n int) error {
+	header(w, fmt.Sprintf("Robustness: votes per comparison (n=%d, r=0.3, medium quality)", n))
+	t := newTable(w, "w", "votes", "accuracy", "oneEdges")
+	for _, perTask := range []int{1, 3, 5, 10, 15} {
+		cfg := DefaultRunConfig(n, 0.3, uint64(perTask)*13+7)
+		cfg.WorkersPerTask = perTask
+		cfg.Workers = 30
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("robustness w=%d: %w", perTask, err)
+		}
+		t.row(perTask, res.Votes, res.Accuracy, res.OneEdges)
+	}
+	return nil
+}
+
+func poolSweep(w io.Writer, n int) error {
+	header(w, fmt.Sprintf("Robustness: worker-pool size at fixed answer volume (n=%d, r=0.3, w=10)", n))
+	t := newTable(w, "pool", "answers/worker", "accuracy")
+	for _, pool := range []int{10, 20, 40, 80, 160} {
+		cfg := DefaultRunConfig(n, 0.3, uint64(pool)*29+3)
+		cfg.Workers = pool
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("robustness pool=%d: %w", pool, err)
+		}
+		perWorker := res.Votes / pool
+		t.row(pool, perWorker, res.Accuracy)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+
+	"crowdrank/internal/core"
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/simulate"
+	"crowdrank/internal/taskgen"
+)
+
+// Workers evaluates Step 1 directly — something the paper never does: how
+// well do the discovered per-worker qualities track each worker's *actual*
+// accuracy against the hidden truth? Reported per quality scenario as the
+// Spearman rank correlation between true per-worker accuracy and estimated
+// quality, plus the spammer-detection precision/recall at threshold 0.75
+// when four coin-flippers join the pool.
+func Workers(w io.Writer, scale Scale) error {
+	n := 80
+	if scale == ScaleQuick {
+		n = 40
+	}
+	header(w, fmt.Sprintf("Worker-quality estimation (n=%d, r=0.5): estimated vs true accuracy", n))
+	t := newTable(w, "distribution", "level", "spearman", "spamPrecision", "spamRecall")
+	for _, dist := range bothDistributions {
+		for _, level := range []simulate.QualityLevel{simulate.HighQuality, simulate.MediumQuality, simulate.LowQuality} {
+			row, err := workerEstimationRun(n, dist, level)
+			if err != nil {
+				return fmt.Errorf("workers %v/%v: %w", dist, level, err)
+			}
+			t.row(dist.String(), level.String(), row.spearman, row.precision, row.recall)
+		}
+	}
+	return nil
+}
+
+type workerRow struct {
+	spearman  float64
+	precision float64
+	recall    float64
+}
+
+func workerEstimationRun(n int, dist simulate.QualityDistribution, level simulate.QualityLevel) (*workerRow, error) {
+	const (
+		honest   = 16
+		spammers = 4
+		perTask  = 10
+	)
+	total := honest + spammers
+	rng := rand.New(rand.NewPCG(uint64(n)*31+uint64(dist)*7+uint64(level), 515))
+
+	l, err := taskgen.PairsForRatio(n, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := taskgen.Generate(n, l, rng)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := simulate.GroundTruth(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, n)
+	for r, o := range truth {
+		pos[o] = r
+	}
+	pool, err := simulate.NewCrowd(honest, dist, level, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	var votes []crowd.Vote
+	correct := make([]float64, total)
+	answered := make([]float64, total)
+	for _, pr := range plan.Pairs() {
+		workers := rng.Perm(total)[:perTask]
+		for _, worker := range workers {
+			truthPref := pos[pr.I] < pos[pr.J]
+			var prefers bool
+			if worker < honest {
+				eps := pool.ErrorProbability(worker, rng)
+				prefers = truthPref
+				if rng.Float64() < eps {
+					prefers = !truthPref
+				}
+			} else {
+				prefers = rng.Float64() < 0.5 // spammer coin flip
+			}
+			votes = append(votes, crowd.Vote{Worker: worker, I: pr.I, J: pr.J, PrefersI: prefers})
+			answered[worker]++
+			if prefers == truthPref {
+				correct[worker]++
+			}
+		}
+	}
+
+	res, err := core.Infer(n, total, votes, core.DefaultOptions(),
+		rand.New(rand.NewPCG(99, uint64(n))))
+	if err != nil {
+		return nil, err
+	}
+
+	// Spearman rank correlation between true accuracy and estimated
+	// quality over all active workers.
+	trueAcc := make([]float64, total)
+	for k := range trueAcc {
+		if answered[k] > 0 {
+			trueAcc[k] = correct[k] / answered[k]
+		}
+	}
+	spearman := spearmanFloats(trueAcc, res.WorkerQuality)
+
+	// Spammer detection at threshold 0.75.
+	flagged := map[int]bool{}
+	for k, q := range res.WorkerQuality {
+		if q > 0 && q < 0.75 {
+			flagged[k] = true
+		}
+	}
+	tp := 0
+	for k := honest; k < total; k++ {
+		if flagged[k] {
+			tp++
+		}
+	}
+	precision := 1.0
+	if len(flagged) > 0 {
+		precision = float64(tp) / float64(len(flagged))
+	}
+	recall := float64(tp) / float64(spammers)
+	return &workerRow{spearman: spearman, precision: precision, recall: recall}, nil
+}
+
+// spearmanFloats computes Spearman's rho between two equal-length float
+// vectors (average ranks for ties are unnecessary at this diagnostic
+// precision; ties are broken by index).
+func spearmanFloats(a, b []float64) float64 {
+	n := len(a)
+	ra := ranksOf(a)
+	rb := ranksOf(b)
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		d := float64(ra[i] - rb[i])
+		sumSq += d * d
+	}
+	nf := float64(n)
+	return 1 - 6*sumSq/(nf*(nf*nf-1))
+}
+
+func ranksOf(xs []float64) []int {
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	ranks := make([]int, len(xs))
+	for rank, idx := range order {
+		ranks[idx] = rank
+	}
+	return ranks
+}

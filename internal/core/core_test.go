@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/graph"
+	"crowdrank/internal/kendall"
+	"crowdrank/internal/platform"
+	"crowdrank/internal/search"
+	"crowdrank/internal/simulate"
+	"crowdrank/internal/taskgen"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 61)) }
+
+// simulateRound produces a complete simulated crowdsourcing round.
+func simulateRound(t testing.TB, n, m, w int, ratio float64, dist simulate.QualityDistribution,
+	level simulate.QualityLevel, seed uint64) ([]crowd.Vote, []int) {
+	t.Helper()
+	rng := newRNG(seed)
+	l, err := taskgen.PairsForRatio(n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := taskgen.Generate(n, l, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := simulate.GroundTruth(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := simulate.NewCrowd(m, dist, level, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := simulate.NewGroundTruthOracle(pool, truth, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := platform.PackHITs(plan.Pairs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned, err := platform.AssignWorkers(hits, m, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := platform.RunNonInteractive(hits, assigned, oracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return round.Votes, truth
+}
+
+func TestInferEndToEndAccuracy(t *testing.T) {
+	// Integration: the full pipeline must hit the paper-scale accuracy
+	// floors under medium-quality workers.
+	tests := []struct {
+		name     string
+		n        int
+		ratio    float64
+		dist     simulate.QualityDistribution
+		minAccur float64
+	}{
+		{"gaussian n=50 r=0.3", 50, 0.3, simulate.Gaussian, 0.85},
+		{"gaussian n=100 r=0.1", 100, 0.1, simulate.Gaussian, 0.85},
+		{"uniform n=50 r=0.5", 50, 0.5, simulate.Uniform, 0.85},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			votes, truth := simulateRound(t, tc.n, 30, 10, tc.ratio, tc.dist, simulate.MediumQuality, 77)
+			res, err := Infer(tc.n, 30, votes, DefaultOptions(), newRNG(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := kendall.Accuracy(res.Ranking, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < tc.minAccur {
+				t.Errorf("accuracy = %v, want >= %v", acc, tc.minAccur)
+			}
+			if res.Timings.Total() <= 0 {
+				t.Error("timings not recorded")
+			}
+			if res.TruthIterations < 1 {
+				t.Error("truth iterations not recorded")
+			}
+		})
+	}
+}
+
+func TestInferDeterministicUnderFixedSeed(t *testing.T) {
+	votes, _ := simulateRound(t, 30, 20, 8, 0.3, simulate.Gaussian, simulate.MediumQuality, 11)
+	a, err := Infer(30, 20, votes, DefaultOptions(), newRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Infer(30, 20, votes, DefaultOptions(), newRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Ranking {
+		if a.Ranking[i] != b.Ranking[i] {
+			t.Fatalf("non-deterministic ranking: %v vs %v", a.Ranking, b.Ranking)
+		}
+	}
+}
+
+func TestInferSearcherSelection(t *testing.T) {
+	votes, _ := simulateRound(t, 10, 10, 5, 0.5, simulate.Gaussian, simulate.HighQuality, 13)
+	// Auto on a small instance resolves to Held-Karp.
+	res, err := Infer(10, 10, votes, DefaultOptions(), newRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SearcherUsed != SearcherHeldKarp {
+		t.Errorf("auto on n=10 used %v", res.SearcherUsed)
+	}
+	// Explicit searchers all work and agree on the exact optimum.
+	var exactLog float64
+	for idx, s := range []Searcher{SearcherHeldKarp, SearcherBruteForce, SearcherTAPS} {
+		opts := DefaultOptions()
+		opts.Searcher = s
+		if s == SearcherTAPS || s == SearcherBruteForce {
+			// TAPS all-pairs is limited to n=8; use a smaller instance.
+			continue
+		}
+		r, err := Infer(10, 10, votes, opts, newRNG(2))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if idx == 0 {
+			exactLog = r.LogProb
+		} else if r.LogProb != exactLog {
+			t.Errorf("%v disagrees with Held-Karp: %v vs %v", s, r.LogProb, exactLog)
+		}
+	}
+	// SAPS runs on the same instance.
+	opts := DefaultOptions()
+	opts.Searcher = SearcherSAPS
+	if _, err := Infer(10, 10, votes, opts, newRNG(3)); err != nil {
+		t.Fatalf("SAPS: %v", err)
+	}
+}
+
+func TestInferExactSearchersAgreeSmall(t *testing.T) {
+	votes, _ := simulateRound(t, 7, 8, 4, 0.8, simulate.Gaussian, simulate.MediumQuality, 17)
+	logs := map[Searcher]float64{}
+	for _, s := range []Searcher{SearcherHeldKarp, SearcherBruteForce, SearcherTAPS} {
+		opts := DefaultOptions()
+		opts.Searcher = s
+		r, err := Infer(7, 8, votes, opts, newRNG(4))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		logs[s] = r.LogProb
+	}
+	// Summation association differs between searchers, so allow float
+	// round-off at the last digit.
+	const tol = 1e-9
+	hk := logs[SearcherHeldKarp]
+	if diff := logs[SearcherBruteForce] - hk; diff > tol || diff < -tol {
+		t.Errorf("exact searchers disagree: %v", logs)
+	}
+	if diff := logs[SearcherTAPS] - hk; diff > tol || diff < -tol {
+		t.Errorf("exact searchers disagree: %v", logs)
+	}
+}
+
+func TestInferValidation(t *testing.T) {
+	votes := []crowd.Vote{{Worker: 0, I: 0, J: 1, PrefersI: true}}
+	if _, err := Infer(2, 1, votes, DefaultOptions(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := Infer(2, 1, nil, DefaultOptions(), newRNG(1)); err == nil {
+		t.Error("no votes should fail")
+	}
+	opts := DefaultOptions()
+	opts.Searcher = Searcher(99)
+	if _, err := Infer(2, 1, votes, opts, newRNG(1)); err == nil {
+		t.Error("unknown searcher should fail")
+	}
+}
+
+func TestInferAdversarialWorkersSuppressed(t *testing.T) {
+	// 8 honest workers + 4 always-wrong workers. The pipeline must still
+	// recover the order and assign the adversaries lower quality.
+	rng := newRNG(23)
+	n := 20
+	l, err := taskgen.PairsForRatio(n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := taskgen.Generate(n, l, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := simulate.GroundTruth(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, n)
+	for r, o := range truth {
+		pos[o] = r
+	}
+	var votes []crowd.Vote
+	const honest, total = 8, 12
+	for _, pr := range plan.Pairs() {
+		truthPref := pos[pr.I] < pos[pr.J]
+		for w := 0; w < total; w++ {
+			prefers := truthPref
+			if w >= honest {
+				prefers = !truthPref
+			}
+			votes = append(votes, crowd.Vote{Worker: w, I: pr.I, J: pr.J, PrefersI: prefers})
+		}
+	}
+	res, err := Infer(n, total, votes, DefaultOptions(), newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := kendall.Accuracy(res.Ranking, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("accuracy with adversaries = %v", acc)
+	}
+	for w := honest; w < total; w++ {
+		if res.WorkerQuality[w] >= res.WorkerQuality[0] {
+			t.Errorf("adversary %d quality %v >= honest quality %v",
+				w, res.WorkerQuality[w], res.WorkerQuality[0])
+		}
+	}
+}
+
+func TestInferObjectiveOption(t *testing.T) {
+	votes, _ := simulateRound(t, 12, 10, 5, 0.6, simulate.Gaussian, simulate.HighQuality, 31)
+	opts := DefaultOptions()
+	opts.Objective = 99
+	if _, err := Infer(12, 10, votes, opts, newRNG(1)); err == nil {
+		t.Error("invalid objective should fail in the searcher")
+	}
+}
+
+func TestInferFromClosure(t *testing.T) {
+	g, err := graph.NewPreferenceGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if err := g.SetWeight(i, j, 0.9); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.SetWeight(j, i, 0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opts := DefaultOptions()
+	for _, s := range []Searcher{SearcherAuto, SearcherSAPS, SearcherTAPS, SearcherHeldKarp, SearcherBruteForce} {
+		r, err := InferFromClosure(g, s, opts.SAPS, newRNG(7))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for i, v := range r.Path {
+			if v != i {
+				t.Fatalf("%v: path %v should be identity", s, r.Path)
+			}
+		}
+	}
+	if _, err := InferFromClosure(g, Searcher(99), opts.SAPS, newRNG(7)); err == nil {
+		t.Error("unknown searcher should fail")
+	}
+}
+
+func TestSearcherString(t *testing.T) {
+	names := map[Searcher]string{
+		SearcherAuto: "auto", SearcherSAPS: "saps", SearcherTAPS: "taps",
+		SearcherHeldKarp: "heldkarp", SearcherBruteForce: "bruteforce",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if Searcher(42).String() == "" {
+		t.Error("unknown searcher should still print")
+	}
+}
+
+func TestSAPSMatchesBranchAndBoundOnRealClosure(t *testing.T) {
+	// On an actual pipeline closure at n=30 (beyond Held-Karp's reach) the
+	// branch-and-bound proves the optimum; SAPS must match it or fall only
+	// marginally short.
+	votes, _ := simulateRound(t, 30, 20, 10, 0.4, simulate.Gaussian, simulate.MediumQuality, 555)
+	cl, err := BuildClosure(30, 20, votes, DefaultOptions(), newRNG(556))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := search.BranchAndBound(cl.Closure, search.BranchAndBoundParams{})
+	if err != nil {
+		t.Fatalf("branch and bound on a real closure should prove optimality: %v", err)
+	}
+	params := DefaultOptions().SAPS
+	params.Iterations = 400
+	sa, err := search.SAPS(cl.Closure, params, newRNG(557))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.LogProb > exact.LogProb+1e-9 {
+		t.Fatalf("SAPS %v beat the proven optimum %v", sa.LogProb, exact.LogProb)
+	}
+	// SAPS is a heuristic; allow a small optimality gap (the closure's
+	// total log-mass is in the hundreds).
+	gap := exact.LogProb - sa.LogProb
+	if gap > 5.0 {
+		t.Errorf("SAPS trails the optimum by %v log units", gap)
+	}
+}

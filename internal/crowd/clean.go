@@ -1,0 +1,87 @@
+package crowd
+
+import "fmt"
+
+// CleanReport summarizes what Clean dropped.
+type CleanReport struct {
+	// Kept is the number of votes that passed validation.
+	Kept int
+	// DroppedInvalidPair counts votes with out-of-range or self pairs.
+	DroppedInvalidPair int
+	// DroppedInvalidWorker counts votes from out-of-range workers.
+	DroppedInvalidWorker int
+	// DroppedDuplicates counts exact duplicate (worker, pair, answer)
+	// triples beyond the first occurrence when deduplication is enabled.
+	DroppedDuplicates int
+}
+
+// String renders the report compactly for CLI output.
+func (r CleanReport) String() string {
+	return fmt.Sprintf("kept %d, dropped %d invalid-pair, %d invalid-worker, %d duplicate",
+		r.Kept, r.DroppedInvalidPair, r.DroppedInvalidWorker, r.DroppedDuplicates)
+}
+
+// Clean filters a raw vote list (for example a spreadsheet import) down to
+// votes valid for n objects and m workers, optionally removing exact
+// duplicates of the same worker answering the same pair the same way
+// (double submissions). Conflicting repeat answers by the same worker are
+// kept — they are genuine observations for truth discovery. The input is
+// not modified.
+func Clean(votes []Vote, n, m int, dedupe bool) ([]Vote, CleanReport) {
+	var report CleanReport
+	out := make([]Vote, 0, len(votes))
+	type submission struct {
+		worker   int
+		pair     [2]int
+		prefersI bool
+	}
+	seen := make(map[submission]bool)
+	for _, v := range votes {
+		if v.I < 0 || v.I >= n || v.J < 0 || v.J >= n || v.I == v.J {
+			report.DroppedInvalidPair++
+			continue
+		}
+		if v.Worker < 0 || v.Worker >= m {
+			report.DroppedInvalidWorker++
+			continue
+		}
+		if dedupe {
+			p := v.Pair()
+			key := submission{worker: v.Worker, pair: [2]int{p.I, p.J}, prefersI: v.Value() == 1}
+			if seen[key] {
+				report.DroppedDuplicates++
+				continue
+			}
+			seen[key] = true
+		}
+		out = append(out, v)
+	}
+	report.Kept = len(out)
+	return out, report
+}
+
+// CoverageGaps returns the canonical pairs from tasks that received no
+// votes — the requester-side check for abandoned HITs before inference.
+func CoverageGaps(tasks []Vote, votes []Vote) []struct{ I, J int } {
+	// tasks is interpreted loosely: any structure with I, J identifying the
+	// planned pairs; here we accept Votes for symmetry with CSV imports.
+	have := make(map[[2]int]bool)
+	for _, v := range votes {
+		p := v.Pair()
+		have[[2]int{p.I, p.J}] = true
+	}
+	var gaps []struct{ I, J int }
+	seen := make(map[[2]int]bool)
+	for _, t := range tasks {
+		p := t.Pair()
+		key := [2]int{p.I, p.J}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if !have[key] {
+			gaps = append(gaps, struct{ I, J int }{I: p.I, J: p.J})
+		}
+	}
+	return gaps
+}

@@ -1,0 +1,124 @@
+// Package crowd defines the shared vocabulary between the crowdsourcing
+// platform, the simulator, the truth-discovery step, and the baselines: a
+// Vote is one worker's answer to one pairwise comparison task.
+package crowd
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdrank/internal/graph"
+)
+
+// Vote records that worker Worker compared objects I and J and preferred I
+// (PrefersI true means O_I ≺ O_J, i.e. I should rank before J).
+type Vote struct {
+	Worker   int
+	I, J     int
+	PrefersI bool
+}
+
+// Pair returns the canonical pair this vote answers.
+func (v Vote) Pair() graph.Pair { return graph.Pair{I: v.I, J: v.J}.Canon() }
+
+// Value returns the paper's x_ij^k encoding with respect to the canonical
+// pair (low index first): 1 when the worker prefers the lower-indexed
+// object, 0 otherwise.
+func (v Vote) Value() float64 {
+	prefersLow := v.PrefersI
+	if v.I > v.J {
+		prefersLow = !v.PrefersI
+	}
+	if prefersLow {
+		return 1
+	}
+	return 0
+}
+
+// Validate checks vote fields against the object universe [0, n) and worker
+// universe [0, m).
+func (v Vote) Validate(n, m int) error {
+	if v.I < 0 || v.I >= n || v.J < 0 || v.J >= n {
+		return fmt.Errorf("crowd: vote pair (%d,%d) outside object range [0,%d)", v.I, v.J, n)
+	}
+	if v.I == v.J {
+		return fmt.Errorf("crowd: vote compares object %d with itself", v.I)
+	}
+	if v.Worker < 0 || v.Worker >= m {
+		return fmt.Errorf("crowd: worker %d outside range [0,%d)", v.Worker, m)
+	}
+	return nil
+}
+
+// ByPair groups votes by canonical pair, preserving input order within each
+// group.
+func ByPair(votes []Vote) map[graph.Pair][]Vote {
+	out := make(map[graph.Pair][]Vote)
+	for _, v := range votes {
+		p := v.Pair()
+		out[p] = append(out[p], v)
+	}
+	return out
+}
+
+// ByWorker groups votes by worker id, preserving input order within each
+// group.
+func ByWorker(votes []Vote) map[int][]Vote {
+	out := make(map[int][]Vote)
+	for _, v := range votes {
+		out[v.Worker] = append(out[v.Worker], v)
+	}
+	return out
+}
+
+// Pairs returns the distinct canonical pairs covered by votes in sorted
+// order.
+func Pairs(votes []Vote) []graph.Pair {
+	set := make(map[graph.Pair]bool)
+	for _, v := range votes {
+		set[v.Pair()] = true
+	}
+	out := make([]graph.Pair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Workers returns the distinct worker ids appearing in votes, sorted.
+func Workers(votes []Vote) []int {
+	set := make(map[int]bool)
+	for _, v := range votes {
+		set[v.Worker] = true
+	}
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MajorityPreference returns, for each canonical pair, the fraction of votes
+// preferring the lower-indexed object — unweighted majority voting, the
+// naive aggregation the paper's truth discovery improves upon.
+func MajorityPreference(votes []Vote) map[graph.Pair]float64 {
+	sums := make(map[graph.Pair]float64)
+	counts := make(map[graph.Pair]int)
+	for _, v := range votes {
+		p := v.Pair()
+		sums[p] += v.Value()
+		counts[p]++
+	}
+	out := make(map[graph.Pair]float64, len(sums))
+	for p, s := range sums {
+		out[p] = s / float64(counts[p])
+	}
+	return out
+}

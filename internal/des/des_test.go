@@ -1,0 +1,245 @@
+package des
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/graph"
+	"crowdrank/internal/platform"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 71)) }
+
+// fixedOracle prefers the lower object id, with a fixed pool size.
+type fixedOracle struct{ workers int }
+
+func (o fixedOracle) Answer(_, i, j int) bool { return i < j }
+func (o fixedOracle) Workers() int            { return o.workers }
+
+func hitsFor(pairs ...graph.Pair) []platform.HIT {
+	hits := make([]platform.HIT, len(pairs))
+	for i, p := range pairs {
+		hits[i] = platform.HIT{ID: i, Pairs: []graph.Pair{p}}
+	}
+	return hits
+}
+
+func deterministicModel() WorkerModel {
+	return WorkerModel{MeanService: 10 * time.Second, ServiceJitter: 0, ReactionDelay: 0}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultWorkerModel(), newRNG(1)); err == nil {
+		t.Error("nil oracle should fail")
+	}
+	if _, err := New(fixedOracle{workers: 2}, DefaultWorkerModel(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := New(fixedOracle{workers: 0}, DefaultWorkerModel(), newRNG(1)); err == nil {
+		t.Error("empty pool should fail")
+	}
+	bad := DefaultWorkerModel()
+	bad.MeanService = 0
+	if _, err := New(fixedOracle{workers: 2}, bad, newRNG(1)); err == nil {
+		t.Error("zero service time should fail")
+	}
+	bad = DefaultWorkerModel()
+	bad.ServiceJitter = -1
+	if _, err := New(fixedOracle{workers: 2}, bad, newRNG(1)); err == nil {
+		t.Error("negative jitter should fail")
+	}
+	bad = DefaultWorkerModel()
+	bad.ReactionDelay = -time.Second
+	if _, err := New(fixedOracle{workers: 2}, bad, newRNG(1)); err == nil {
+		t.Error("negative reaction delay should fail")
+	}
+}
+
+func TestRunBatchParallelMakespan(t *testing.T) {
+	// 4 HITs, 4 workers, w=1, deterministic 10 s service: all run in
+	// parallel, makespan exactly 10 s.
+	m, err := New(fixedOracle{workers: 4}, deterministicModel(), newRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := hitsFor(
+		graph.Pair{I: 0, J: 1}, graph.Pair{I: 1, J: 2},
+		graph.Pair{I: 2, J: 3}, graph.Pair{I: 0, J: 3},
+	)
+	res, err := m.RunBatch(hits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 10*time.Second {
+		t.Errorf("makespan = %v, want 10s", res.Makespan)
+	}
+	if len(res.Votes) != 4 {
+		t.Errorf("votes = %d", len(res.Votes))
+	}
+	for _, v := range res.Votes {
+		if !v.PrefersI {
+			t.Errorf("oracle answer lost: %+v", v)
+		}
+	}
+}
+
+func TestRunBatchQueueingMakespan(t *testing.T) {
+	// 6 HITs, 2 workers, w=1: 3 sequential tasks per worker -> 30 s.
+	m, err := New(fixedOracle{workers: 2}, deterministicModel(), newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []graph.Pair
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, graph.Pair{I: i, J: i + 1})
+	}
+	res, err := m.RunBatch(hitsFor(pairs...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 30*time.Second {
+		t.Errorf("makespan = %v, want 30s", res.Makespan)
+	}
+	// Load should split evenly: 3 answers each.
+	for k, c := range res.WorkerAnswers {
+		if c != 3 {
+			t.Errorf("worker %d answered %d, want 3", k, c)
+		}
+	}
+}
+
+func TestRunBatchReplication(t *testing.T) {
+	// One HIT answered by w=3 of 3 workers.
+	m, err := New(fixedOracle{workers: 3}, deterministicModel(), newRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunBatch(hitsFor(graph.Pair{I: 0, J: 1}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Votes) != 3 {
+		t.Errorf("votes = %d, want 3", len(res.Votes))
+	}
+	seen := map[int]bool{}
+	for _, v := range res.Votes {
+		if seen[v.Worker] {
+			t.Error("same worker answered twice")
+		}
+		seen[v.Worker] = true
+	}
+	if _, err := m.RunBatch(hitsFor(graph.Pair{I: 0, J: 1}), 4); err == nil {
+		t.Error("w > pool should fail")
+	}
+}
+
+func TestInteractiveSlowerThanBatch(t *testing.T) {
+	// Same budget (30 comparisons, w=2) with a 10-worker pool: the
+	// one-at-a-time protocol must have a much larger makespan than the
+	// single batch.
+	model := DefaultWorkerModel()
+	pairs := make([]graph.Pair, 30)
+	for i := range pairs {
+		pairs[i] = graph.Pair{I: i % 7, J: i%7 + 1}
+	}
+
+	batchM, err := New(fixedOracle{workers: 10}, model, newRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batchM.RunBatch(hitsFor(pairs...), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interM, err := New(fixedOracle{workers: 10}, model, newRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	inter, err := interM.RunInteractive(2, len(pairs), func(_ []crowd.Vote) (graph.Pair, bool) {
+		if next >= len(pairs) {
+			return graph.Pair{}, false
+		}
+		p := pairs[next]
+		next++
+		return p, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inter.Votes) != len(batch.Votes) {
+		t.Fatalf("vote counts differ: %d vs %d", len(inter.Votes), len(batch.Votes))
+	}
+	if inter.Makespan < 5*batch.Makespan {
+		t.Errorf("interactive makespan %v not clearly above batch %v", inter.Makespan, batch.Makespan)
+	}
+}
+
+func TestInteractiveSelectorStops(t *testing.T) {
+	m, err := New(fixedOracle{workers: 2}, deterministicModel(), newRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	res, err := m.RunInteractive(1, 100, func(_ []crowd.Vote) (graph.Pair, bool) {
+		calls++
+		if calls > 3 {
+			return graph.Pair{}, false
+		}
+		return graph.Pair{I: 0, J: 1}, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Votes) != 3 {
+		t.Errorf("votes = %d, want 3", len(res.Votes))
+	}
+	if _, err := m.RunInteractive(1, 0, nil); err == nil {
+		t.Error("invalid interactive params should fail")
+	}
+}
+
+func TestDeterminismUnderSeed(t *testing.T) {
+	run := func() *BatchResult {
+		m, err := New(fixedOracle{workers: 5}, DefaultWorkerModel(), newRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := make([]graph.Pair, 20)
+		for i := range pairs {
+			pairs[i] = graph.Pair{I: i % 4, J: i%4 + 1}
+		}
+		res, err := m.RunBatch(hitsFor(pairs...), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || len(a.Votes) != len(b.Votes) {
+		t.Fatal("simulation not deterministic under fixed seed")
+	}
+}
+
+func TestClockAdvancesAcrossBatches(t *testing.T) {
+	m, err := New(fixedOracle{workers: 1}, deterministicModel(), newRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunBatch(hitsFor(graph.Pair{I: 0, J: 1}), 1); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Now()
+	if first != 10*time.Second {
+		t.Errorf("clock = %v after first batch", first)
+	}
+	if _, err := m.RunBatch(hitsFor(graph.Pair{I: 1, J: 2}), 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != 20*time.Second {
+		t.Errorf("clock = %v after second batch", m.Now())
+	}
+}

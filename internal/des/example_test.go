@@ -1,0 +1,44 @@
+package des_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"crowdrank/internal/des"
+	"crowdrank/internal/graph"
+	"crowdrank/internal/platform"
+)
+
+// lowWins answers every comparison in favor of the lower object id.
+type lowWins struct{ pool int }
+
+func (o lowWins) Answer(_, i, j int) bool { return i < j }
+func (o lowWins) Workers() int            { return o.pool }
+
+// ExampleMarketplace_RunBatch shows the virtual-clock makespan of one
+// non-interactive batch: four single-comparison HITs over four workers run
+// fully in parallel.
+func ExampleMarketplace_RunBatch() {
+	model := des.WorkerModel{MeanService: 20 * time.Second} // no jitter, no delay
+	m, err := des.New(lowWins{pool: 4}, model, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits := []platform.HIT{
+		{ID: 0, Pairs: []graph.Pair{{I: 0, J: 1}}},
+		{ID: 1, Pairs: []graph.Pair{{I: 1, J: 2}}},
+		{ID: 2, Pairs: []graph.Pair{{I: 2, J: 3}}},
+		{ID: 3, Pairs: []graph.Pair{{I: 0, J: 3}}},
+	}
+	res, err := m.RunBatch(hits, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("votes:", len(res.Votes))
+	fmt.Println("makespan:", res.Makespan)
+	// Output:
+	// votes: 4
+	// makespan: 20s
+}

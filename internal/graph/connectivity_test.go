@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// hasHPBrute checks by permutation enumeration whether the reachability
+// closure of g admits a Hamiltonian path: an ordering where each vertex
+// reaches the next.
+func hasHPBrute(g *PreferenceGraph) bool {
+	n := g.N()
+	reach := g.Reachable()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var try func(depth int) bool
+	used := make([]bool, n)
+	path := make([]int, 0, n)
+	try = func(depth int) bool {
+		if depth == n {
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			if depth > 0 && !reach[path[depth-1]][v] {
+				continue
+			}
+			used[v] = true
+			path = append(path, v)
+			if try(depth + 1) {
+				return true
+			}
+			path = path[:len(path)-1]
+			used[v] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// TestHasHamiltonianPathReachabilityQuick cross-checks the SCC-based test
+// against brute-force enumeration on random small digraphs.
+func TestHasHamiltonianPathReachabilityQuick(t *testing.T) {
+	f := func(seed uint64, nRaw, density uint8) bool {
+		n := int(nRaw%6) + 1
+		rng := rand.New(rand.NewPCG(seed, 91))
+		g, err := NewPreferenceGraph(n)
+		if err != nil {
+			return false
+		}
+		p := float64(density%90) / 100
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < p {
+					if g.SetWeight(i, j, 0.5) != nil {
+						return false
+					}
+				}
+			}
+		}
+		return g.HasHamiltonianPathReachability() == hasHPBrute(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTaskGraphWriteDOT(t *testing.T) {
+	g := mustTaskGraph(t, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph task_graph {", "v0 -- v1;", "v1 -- v2;", "(d=2)", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPreferenceGraphWriteDOT(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 0.75)
+	setW(t, g, 1, 2, 1)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "gp"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph gp {",
+		`v0 -> v1 [label="0.750"];`,
+		`v1 -> v2 [label="1.000"];`,
+		"shape=box",          // v0 is an out-node
+		"shape=doublecircle", // v2 is an in-node
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var sb2 strings.Builder
+	if err := g.WriteDOT(&sb2, "gp"); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("DOT output not deterministic")
+	}
+}

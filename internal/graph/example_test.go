@@ -1,0 +1,62 @@
+package graph_test
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank/internal/graph"
+)
+
+// ExamplePreferenceGraph builds the Figure 1(b)-style preference graph and
+// inspects its in-/out-nodes — the structures Theorem 4.3 ties to ranking
+// feasibility.
+func ExamplePreferenceGraph() {
+	g, err := graph.NewPreferenceGraph(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// v2 receives only incoming edges; v3 only outgoing.
+	for _, e := range []struct {
+		i, j int
+		w    float64
+	}{
+		{0, 2, 1}, {1, 2, 1}, {3, 2, 1},
+		{3, 0, 1}, {0, 1, 0.7}, {1, 0, 0.3},
+	} {
+		if err := g.SetWeight(e.i, e.j, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inNodes, outNodes := g.InOutNodes()
+	fmt.Println("in-nodes:", inNodes)
+	fmt.Println("out-nodes:", outNodes)
+	fmt.Println("1-edges:", len(g.OneEdges()))
+	fmt.Println("strongly connected:", g.StronglyConnected())
+	// Output:
+	// in-nodes: [2]
+	// out-nodes: [3]
+	// 1-edges: 4
+	// strongly connected: false
+}
+
+// ExampleTaskGraph builds a task graph and checks the fairness invariant.
+func ExampleTaskGraph() {
+	g, err := graph.NewTaskGraph(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A 4-cycle: every vertex has degree 2, so the assignment is fair
+	// (Theorem 4.1).
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("regular:", g.IsRegular())
+	fmt.Println("connected:", g.Connected())
+	fmt.Println("contains HP 0-1-2-3:", g.IsHamiltonianPath([]int{0, 1, 2, 3}))
+	// Output:
+	// regular: true
+	// connected: true
+	// contains HP 0-1-2-3: true
+}

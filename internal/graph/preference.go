@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PreferenceGraph is the weighted, directed preference graph G_P of Section
+// III. The weight w_ij in (0, 1] is the truth confidence that O_i is
+// preferred to O_j. A weight of zero means the edge does not exist, matching
+// the paper's convention ("when w_ij = 0, there is no edge").
+//
+// The representation is a dense matrix plus adjacency lists: inference needs
+// O(1) weight lookups while propagation iterates outgoing edges, and the
+// paper's scale (n <= a few thousand) keeps the matrix comfortably in memory.
+type PreferenceGraph struct {
+	n   int
+	w   [][]float64
+	out [][]int // out[i] = sorted-by-insertion list of j with w[i][j] > 0
+	in  [][]int // in[j] = list of i with w[i][j] > 0
+}
+
+// NewPreferenceGraph creates an edgeless preference graph over n vertices.
+func NewPreferenceGraph(n int) (*PreferenceGraph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: preference graph needs at least one vertex, got n=%d", n)
+	}
+	w := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range w {
+		w[i], backing = backing[:n:n], backing[n:]
+	}
+	return &PreferenceGraph{
+		n:   n,
+		w:   w,
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}, nil
+}
+
+// N returns the number of vertices.
+func (g *PreferenceGraph) N() int { return g.n }
+
+// Weight returns w_ij, or 0 when the edge i->j does not exist.
+func (g *PreferenceGraph) Weight(i, j int) float64 {
+	if i < 0 || j < 0 || i >= g.n || j >= g.n {
+		return 0
+	}
+	return g.w[i][j]
+}
+
+// HasEdge reports whether the directed edge i->j exists (w_ij > 0).
+func (g *PreferenceGraph) HasEdge(i, j int) bool { return g.Weight(i, j) > 0 }
+
+// SetWeight sets w_ij. Weights must lie in [0, 1]; setting 0 removes the
+// edge. Self-loops are rejected.
+func (g *PreferenceGraph) SetWeight(i, j int, weight float64) error {
+	if i < 0 || j < 0 || i >= g.n || j >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", i, j, g.n)
+	}
+	if i == j {
+		return fmt.Errorf("graph: self-loop (%d,%d) is not a valid preference", i, j)
+	}
+	if weight < 0 || weight > 1 || math.IsNaN(weight) {
+		return fmt.Errorf("graph: weight %v for edge (%d,%d) outside [0,1]", weight, i, j)
+	}
+	had := g.w[i][j] > 0
+	g.w[i][j] = weight
+	has := weight > 0
+	switch {
+	case has && !had:
+		g.out[i] = append(g.out[i], j)
+		g.in[j] = append(g.in[j], i)
+	case !has && had:
+		g.out[i] = removeInt(g.out[i], j)
+		g.in[j] = removeInt(g.in[j], i)
+	}
+	return nil
+}
+
+func removeInt(s []int, v int) []int {
+	for idx, x := range s {
+		if x == v {
+			s[idx] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Out returns the out-neighbors of i (vertices j with w_ij > 0). The slice
+// is shared with internal state; callers must not modify it.
+func (g *PreferenceGraph) Out(i int) []int {
+	if i < 0 || i >= g.n {
+		return nil
+	}
+	return g.out[i]
+}
+
+// In returns the in-neighbors of j. The slice is shared with internal state;
+// callers must not modify it.
+func (g *PreferenceGraph) In(j int) []int {
+	if j < 0 || j >= g.n {
+		return nil
+	}
+	return g.in[j]
+}
+
+// OutDegree and InDegree report edge counts per vertex.
+func (g *PreferenceGraph) OutDegree(i int) int { return len(g.Out(i)) }
+
+// InDegree returns the number of incoming edges of j.
+func (g *PreferenceGraph) InDegree(j int) int { return len(g.In(j)) }
+
+// EdgeCount returns the number of directed edges with positive weight.
+func (g *PreferenceGraph) EdgeCount() int {
+	total := 0
+	for i := 0; i < g.n; i++ {
+		total += len(g.out[i])
+	}
+	return total
+}
+
+// IsInNode reports whether v has only incoming edges (Section III). In-nodes
+// force their object to rank last, so Theorem 4.3 makes two of them fatal
+// for a full ranking.
+func (g *PreferenceGraph) IsInNode(v int) bool {
+	return g.InDegree(v) > 0 && g.OutDegree(v) == 0
+}
+
+// IsOutNode reports whether v has only outgoing edges.
+func (g *PreferenceGraph) IsOutNode(v int) bool {
+	return g.OutDegree(v) > 0 && g.InDegree(v) == 0
+}
+
+// InOutNodes returns the in-nodes and out-nodes of the graph.
+func (g *PreferenceGraph) InOutNodes() (inNodes, outNodes []int) {
+	for v := 0; v < g.n; v++ {
+		if g.IsInNode(v) {
+			inNodes = append(inNodes, v)
+		}
+		if g.IsOutNode(v) {
+			outNodes = append(outNodes, v)
+		}
+	}
+	return inNodes, outNodes
+}
+
+// OneEdges returns every directed edge of weight exactly 1 (the "1-edges" of
+// Section V-B: unanimous preferences that smoothing must relax). The result
+// is sorted so that callers consuming randomness per edge stay
+// deterministic.
+func (g *PreferenceGraph) OneEdges() []Pair {
+	var edges []Pair
+	for i := 0; i < g.n; i++ {
+		for _, j := range g.out[i] {
+			if g.w[i][j] == 1 {
+				edges = append(edges, Pair{I: i, J: j})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].I != edges[b].I {
+			return edges[a].I < edges[b].I
+		}
+		return edges[a].J < edges[b].J
+	})
+	return edges
+}
+
+// PathWeight returns the product of edge weights along path, the paper's
+// per-path preference measure w_ij^P. It returns 0 when any hop is missing.
+func (g *PreferenceGraph) PathWeight(path []int) float64 {
+	if len(path) < 2 {
+		return 0
+	}
+	product := 1.0
+	for idx := 1; idx < len(path); idx++ {
+		w := g.Weight(path[idx-1], path[idx])
+		if w <= 0 {
+			return 0
+		}
+		product *= w
+	}
+	return product
+}
+
+// IsHamiltonianPath reports whether path visits every vertex exactly once
+// along positive-weight edges.
+func (g *PreferenceGraph) IsHamiltonianPath(path []int) bool {
+	if len(path) != g.n {
+		return false
+	}
+	seen := make(map[int]bool, len(path))
+	for idx, v := range path {
+		if v < 0 || v >= g.n || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if idx > 0 && g.Weight(path[idx-1], v) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsComplete reports whether every ordered pair (i, j), i != j, carries a
+// positive weight — the state Theorem 5.1 relies on to guarantee an HP.
+func (g *PreferenceGraph) IsComplete() bool {
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			if i != j && g.w[i][j] <= 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the preference graph.
+func (g *PreferenceGraph) Clone() *PreferenceGraph {
+	c, err := NewPreferenceGraph(g.n)
+	if err != nil {
+		panic("graph: clone of invalid graph: " + err.Error())
+	}
+	for i := 0; i < g.n; i++ {
+		copy(c.w[i], g.w[i])
+		c.out[i] = append([]int(nil), g.out[i]...)
+		c.in[i] = append([]int(nil), g.in[i]...)
+	}
+	return c
+}
+
+// WeightsMatrix returns a deep copy of the full n x n weight matrix.
+func (g *PreferenceGraph) WeightsMatrix() [][]float64 {
+	out := make([][]float64, g.n)
+	backing := make([]float64, g.n*g.n)
+	for i := range out {
+		out[i], backing = backing[:g.n:g.n], backing[g.n:]
+		copy(out[i], g.w[i])
+	}
+	return out
+}

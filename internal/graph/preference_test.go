@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefGraph(t *testing.T, n int) *PreferenceGraph {
+	t.Helper()
+	g, err := NewPreferenceGraph(n)
+	if err != nil {
+		t.Fatalf("NewPreferenceGraph(%d): %v", n, err)
+	}
+	return g
+}
+
+func setW(t *testing.T, g *PreferenceGraph, i, j int, w float64) {
+	t.Helper()
+	if err := g.SetWeight(i, j, w); err != nil {
+		t.Fatalf("SetWeight(%d,%d,%v): %v", i, j, w, err)
+	}
+}
+
+func TestPreferenceGraphBasics(t *testing.T) {
+	if _, err := NewPreferenceGraph(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	g := mustPrefGraph(t, 3)
+	if g.N() != 3 || g.EdgeCount() != 0 {
+		t.Fatal("fresh graph wrong")
+	}
+	setW(t, g, 0, 1, 0.7)
+	if g.Weight(0, 1) != 0.7 || g.Weight(1, 0) != 0 {
+		t.Error("weight storage is directed")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge existence is directed")
+	}
+	if g.Weight(-1, 0) != 0 || g.Weight(0, 9) != 0 {
+		t.Error("out of range weight should be 0")
+	}
+	if err := g.SetWeight(1, 1, 0.5); err == nil {
+		t.Error("self loop should fail")
+	}
+	if err := g.SetWeight(0, 1, 1.5); err == nil {
+		t.Error("weight > 1 should fail")
+	}
+	if err := g.SetWeight(0, 1, -0.1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := g.SetWeight(0, 9, 0.5); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestPreferenceGraphEdgeRemovalViaZero(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 0.7)
+	setW(t, g, 0, 2, 0.4)
+	setW(t, g, 0, 1, 0) // the paper: weight 0 means no edge
+	if g.HasEdge(0, 1) {
+		t.Error("zero weight should remove the edge")
+	}
+	if g.OutDegree(0) != 1 {
+		t.Errorf("OutDegree(0) = %d, want 1", g.OutDegree(0))
+	}
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d", g.EdgeCount())
+	}
+	out := g.Out(0)
+	if len(out) != 1 || out[0] != 2 {
+		t.Errorf("Out(0) = %v", out)
+	}
+}
+
+func TestInOutNodes(t *testing.T) {
+	// Figure 1(b)-like: v2 has only incoming edges.
+	g := mustPrefGraph(t, 4)
+	setW(t, g, 0, 2, 1)
+	setW(t, g, 1, 2, 1)
+	setW(t, g, 3, 2, 1)
+	setW(t, g, 0, 1, 0.5)
+	setW(t, g, 1, 0, 0.5)
+	setW(t, g, 3, 0, 1)
+	if !g.IsInNode(2) {
+		t.Error("v2 should be an in-node")
+	}
+	if g.IsOutNode(2) || g.IsInNode(0) {
+		t.Error("misclassified nodes")
+	}
+	if !g.IsOutNode(3) {
+		t.Error("v3 should be an out-node")
+	}
+	inN, outN := g.InOutNodes()
+	if len(inN) != 1 || inN[0] != 2 || len(outN) != 1 || outN[0] != 3 {
+		t.Errorf("InOutNodes = %v, %v", inN, outN)
+	}
+}
+
+func TestOneEdges(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 1)
+	setW(t, g, 1, 2, 0.8)
+	setW(t, g, 2, 1, 0.2)
+	ones := g.OneEdges()
+	if len(ones) != 1 || ones[0] != (Pair{I: 0, J: 1}) {
+		t.Errorf("OneEdges = %v", ones)
+	}
+}
+
+func TestPathWeightAndHP(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 0.5)
+	setW(t, g, 1, 2, 0.4)
+	if w := g.PathWeight([]int{0, 1, 2}); w != 0.2 {
+		t.Errorf("PathWeight = %v, want 0.2", w)
+	}
+	if w := g.PathWeight([]int{0, 2}); w != 0 {
+		t.Errorf("missing edge should zero the path, got %v", w)
+	}
+	if w := g.PathWeight([]int{0}); w != 0 {
+		t.Errorf("degenerate path weight = %v", w)
+	}
+	if !g.IsHamiltonianPath([]int{0, 1, 2}) {
+		t.Error("0-1-2 should be an HP")
+	}
+	if g.IsHamiltonianPath([]int{2, 1, 0}) {
+		t.Error("reverse edges missing, not an HP")
+	}
+}
+
+func TestIsComplete(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				setW(t, g, i, j, 0.5)
+			}
+		}
+	}
+	if !g.IsComplete() {
+		t.Error("fully weighted graph should be complete")
+	}
+	setW(t, g, 0, 1, 0)
+	if g.IsComplete() {
+		t.Error("graph with removed edge is not complete")
+	}
+}
+
+func TestCloneAndWeightsMatrix(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 0.9)
+	c := g.Clone()
+	setW(t, c, 1, 2, 0.3)
+	if g.HasEdge(1, 2) {
+		t.Error("clone should be independent")
+	}
+	m := g.WeightsMatrix()
+	m[0][1] = 0.1
+	if g.Weight(0, 1) != 0.9 {
+		t.Error("WeightsMatrix should be a copy")
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 0.5)
+	setW(t, g, 1, 2, 0.5)
+	if g.StronglyConnected() {
+		t.Error("one-way chain is not strongly connected")
+	}
+	setW(t, g, 2, 0, 0.5)
+	if !g.StronglyConnected() {
+		t.Error("cycle should be strongly connected")
+	}
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Errorf("SCCs = %v", comps)
+	}
+}
+
+func TestSCCStructure(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge: 2 SCCs.
+	g := mustPrefGraph(t, 4)
+	setW(t, g, 0, 1, 0.5)
+	setW(t, g, 1, 0, 0.5)
+	setW(t, g, 2, 3, 0.5)
+	setW(t, g, 3, 2, 0.5)
+	setW(t, g, 1, 2, 0.5)
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("want 2 SCCs, got %v", comps)
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[2] || len(comps[0])+len(comps[1]) != 4 {
+		t.Errorf("SCC sizes wrong: %v", comps)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := mustPrefGraph(t, 4)
+	setW(t, g, 0, 1, 0.5)
+	setW(t, g, 1, 2, 0.5)
+	reach := g.Reachable()
+	if !reach[0][1] || !reach[0][2] || reach[0][3] {
+		t.Errorf("reach[0] = %v", reach[0])
+	}
+	if reach[2][0] {
+		t.Error("backward reach should be false")
+	}
+}
+
+func TestHasHamiltonianPathReachability(t *testing.T) {
+	// Chain: yes.
+	g := mustPrefGraph(t, 3)
+	setW(t, g, 0, 1, 0.5)
+	setW(t, g, 1, 2, 0.5)
+	if !g.HasHamiltonianPathReachability() {
+		t.Error("chain closure should have an HP")
+	}
+	// Two incomparable components: no.
+	h := mustPrefGraph(t, 4)
+	setW(t, h, 0, 1, 0.5)
+	setW(t, h, 2, 3, 0.5)
+	if h.HasHamiltonianPathReachability() {
+		t.Error("disconnected order should not have an HP")
+	}
+	// Fork: 0->1, 0->2 with 1,2 incomparable: no.
+	f := mustPrefGraph(t, 3)
+	setW(t, f, 0, 1, 0.5)
+	setW(t, f, 0, 2, 0.5)
+	if f.HasHamiltonianPathReachability() {
+		t.Error("fork with incomparable leaves should not have an HP")
+	}
+	// Single vertex: trivially yes.
+	s := mustPrefGraph(t, 1)
+	if !s.HasHamiltonianPathReachability() {
+		t.Error("singleton should have an HP")
+	}
+}
+
+func TestStronglyConnectedQuickAgainstReachability(t *testing.T) {
+	// Property: Tarjan's single-SCC answer matches pairwise reachability.
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		edges := int(mRaw) % (n * (n - 1))
+		rng := rand.New(rand.NewPCG(seed, 17))
+		g, err := NewPreferenceGraph(n)
+		if err != nil {
+			return false
+		}
+		for e := 0; e < edges; e++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				continue
+			}
+			if err := g.SetWeight(i, j, 0.5); err != nil {
+				return false
+			}
+		}
+		reach := g.Reachable()
+		all := true
+		for i := 0; i < n && all; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && !reach[i][j] {
+					all = false
+					break
+				}
+			}
+		}
+		return g.StronglyConnected() == all
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

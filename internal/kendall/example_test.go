@@ -1,0 +1,50 @@
+package kendall_test
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank/internal/kendall"
+)
+
+// ExampleDistance shows the normalized Kendall tau distance on hand-built
+// rankings.
+func ExampleDistance() {
+	identical, err := kendall.Distance([]int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reversed, err := kendall.Distance([]int{0, 1, 2, 3}, []int{3, 2, 1, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identical: %.2f\n", identical)
+	fmt.Printf("reversed: %.2f\n", reversed)
+	// Output:
+	// identical: 0.00
+	// reversed: 1.00
+}
+
+// ExampleAccuracy shows the paper's accuracy measure 1 - d.
+func ExampleAccuracy() {
+	acc, err := kendall.Accuracy([]int{0, 1, 2}, []int{1, 0, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy: %.4f\n", acc)
+	// Output:
+	// accuracy: 0.6667
+}
+
+// ExampleTopKOverlap scores a ranking prefix against the true top-k.
+func ExampleTopKOverlap() {
+	inferred := []int{4, 2, 0, 1, 3}
+	truth := []int{2, 4, 1, 0, 3}
+	overlap, err := kendall.TopKOverlap(inferred, truth, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-2 overlap: %.1f\n", overlap)
+	// Output:
+	// top-2 overlap: 1.0
+}

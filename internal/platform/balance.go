@@ -1,0 +1,72 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// AssignWorkersBalanced draws, for every HIT, w distinct workers from the
+// pool of m while keeping the total HIT load per worker as even as
+// possible: each assignment picks the w least-loaded workers, breaking ties
+// uniformly at random. Balanced load matters on real marketplaces — it
+// bounds per-worker spend and keeps the truth-discovery task counts |T_k|
+// comparable across workers, which stabilizes the chi-square weights of
+// Equation 5.
+func AssignWorkersBalanced(hits []HIT, m, w int, rng *rand.Rand) ([][]int, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("platform: need at least one worker per HIT, got w=%d", w)
+	}
+	if w > m {
+		return nil, fmt.Errorf("platform: w=%d workers per HIT exceeds pool of m=%d", w, m)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("platform: nil random source")
+	}
+	load := make([]int, m)
+	assigned := make([][]int, len(hits))
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	for h := range hits {
+		// Random shuffle then stable sort by load: equal-load workers stay
+		// in random relative order, so ties break uniformly.
+		rng.Shuffle(m, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sort.SliceStable(order, func(a, b int) bool { return load[order[a]] < load[order[b]] })
+		pick := make([]int, w)
+		copy(pick, order[:w])
+		for _, worker := range pick {
+			load[worker]++
+		}
+		assigned[h] = pick
+	}
+	return assigned, nil
+}
+
+// LoadSpread reports the minimum and maximum number of HITs assigned to any
+// worker in an assignment over a pool of m workers.
+func LoadSpread(assigned [][]int, m int) (lo, hi int, err error) {
+	if m < 1 {
+		return 0, 0, fmt.Errorf("platform: pool size must be positive, got %d", m)
+	}
+	load := make([]int, m)
+	for h, workers := range assigned {
+		for _, w := range workers {
+			if w < 0 || w >= m {
+				return 0, 0, fmt.Errorf("platform: HIT %d assigned to unknown worker %d", h, w)
+			}
+			load[w]++
+		}
+	}
+	lo, hi = load[0], load[0]
+	for _, l := range load[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,89 @@
+package platform
+
+import (
+	"testing"
+)
+
+func TestAssignWorkersBalancedSpread(t *testing.T) {
+	hits, err := PackHITs(somePairs(120), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m, w = 12, 3
+	assigned, err := AssignWorkersBalanced(hits, m, w, newRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := LoadSpread(assigned, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 HITs * 3 workers / 12 workers = exactly 30 each.
+	if lo != 30 || hi != 30 {
+		t.Errorf("balanced load spread = [%d, %d], want [30, 30]", lo, hi)
+	}
+	for h, workers := range assigned {
+		if len(workers) != w {
+			t.Fatalf("HIT %d has %d workers", h, len(workers))
+		}
+		seen := map[int]bool{}
+		for _, worker := range workers {
+			if seen[worker] {
+				t.Fatalf("HIT %d assigned worker %d twice", h, worker)
+			}
+			seen[worker] = true
+		}
+	}
+}
+
+func TestAssignWorkersBalancedBeatsRandom(t *testing.T) {
+	hits, err := PackHITs(somePairs(100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m, w = 15, 4
+	balanced, err := AssignWorkersBalanced(hits, m, w, newRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := AssignWorkers(hits, m, w, newRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLo, bHi, err := LoadSpread(balanced, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLo, rHi, err := LoadSpread(random, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bHi-bLo > rHi-rLo {
+		t.Errorf("balanced spread %d wider than random spread %d", bHi-bLo, rHi-rLo)
+	}
+	if bHi-bLo > 1 {
+		t.Errorf("balanced spread = %d, want <= 1", bHi-bLo)
+	}
+}
+
+func TestAssignWorkersBalancedValidation(t *testing.T) {
+	hits, _ := PackHITs(somePairs(3), 1)
+	if _, err := AssignWorkersBalanced(hits, 2, 3, newRNG(1)); err == nil {
+		t.Error("w > m should fail")
+	}
+	if _, err := AssignWorkersBalanced(hits, 2, 0, newRNG(1)); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := AssignWorkersBalanced(hits, 2, 1, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestLoadSpreadValidation(t *testing.T) {
+	if _, _, err := LoadSpread(nil, 0); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, _, err := LoadSpread([][]int{{5}}, 2); err == nil {
+		t.Error("unknown worker should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package platform_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"crowdrank/internal/graph"
+	"crowdrank/internal/platform"
+)
+
+// yesOracle answers every comparison in favor of the lower id.
+type yesOracle struct{ pool int }
+
+func (o yesOracle) Answer(_, i, j int) bool { return i < j }
+func (o yesOracle) Workers() int            { return o.pool }
+
+// ExampleRunNonInteractive shows the Section II crowdsourcing round: pack
+// comparisons into HITs, assign each HIT to w workers, release once, and
+// collect every answer.
+func ExampleRunNonInteractive() {
+	pairs := []graph.Pair{{I: 0, J: 1}, {I: 1, J: 2}, {I: 0, J: 2}}
+	hits, err := platform.PackHITs(pairs, 2) // c = 2 comparisons per HIT
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	assigned, err := platform.AssignWorkers(hits, 6, 3, rng) // w = 3 of m = 6
+	if err != nil {
+		log.Fatal(err)
+	}
+	round, err := platform.RunNonInteractive(hits, assigned, yesOracle{pool: 6}, 0.025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("HITs:", len(hits))
+	fmt.Println("votes:", len(round.Votes))
+	fmt.Printf("spent: $%.3f\n", round.Spent)
+	// Output:
+	// HITs: 2
+	// votes: 9
+	// spent: $0.225
+}
+
+// ExampleBudget shows the paper's budget arithmetic.
+func ExampleBudget() {
+	b := platform.Budget{Total: 12.5, Reward: 0.025, WorkersPerTask: 10}
+	l, err := b.MaxTasks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("affordable comparisons:", l)
+	fmt.Printf("cost of all %d: $%.2f\n", l, b.Cost(l))
+	// Output:
+	// affordable comparisons: 50
+	// cost of all 50: $12.50
+}

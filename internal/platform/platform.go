@@ -1,0 +1,247 @@
+// Package platform simulates the crowdsourcing marketplace of Section II: a
+// requester packs pairwise comparisons into HITs of c comparisons each,
+// assigns every HIT to w of the m available workers, pays reward r per
+// comparison under budget B, and collects the answers. Two collection modes
+// are provided:
+//
+//   - the non-interactive one-shot round the paper proposes (all HITs
+//     released at once, answers accepted as-is), and
+//   - an interactive session (one query at a time with per-round latency
+//     accounting) used to drive the CrowdBT baseline the paper compares
+//     against.
+package platform
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/graph"
+)
+
+// Oracle answers pairwise comparison queries on behalf of a worker pool.
+// Answer reports whether worker prefers O_i over O_j. Implementations live
+// in internal/simulate (ground-truth crowds and PubFig-style human pools).
+type Oracle interface {
+	Answer(worker, i, j int) bool
+	Workers() int
+}
+
+// HIT is one human intelligence task: a batch of pairwise comparisons given
+// to a single worker as a unit.
+type HIT struct {
+	ID    int
+	Pairs []graph.Pair
+}
+
+// Budget models the requester's money (Section II): each pairwise
+// comparison is answered by WorkersPerTask workers at Reward per answer.
+type Budget struct {
+	Total          float64
+	Reward         float64
+	WorkersPerTask int
+}
+
+// MaxTasks returns l = floor(Total / (WorkersPerTask * Reward)), the number
+// of unique comparisons the budget affords.
+func (b Budget) MaxTasks() (int, error) {
+	if b.Total < 0 {
+		return 0, fmt.Errorf("platform: negative budget %v", b.Total)
+	}
+	if b.Reward <= 0 {
+		return 0, fmt.Errorf("platform: reward must be positive, got %v", b.Reward)
+	}
+	if b.WorkersPerTask < 1 {
+		return 0, fmt.Errorf("platform: need at least one worker per task, got %d", b.WorkersPerTask)
+	}
+	return int(b.Total / (float64(b.WorkersPerTask) * b.Reward)), nil
+}
+
+// Cost returns the money spent crowdsourcing l unique comparisons.
+func (b Budget) Cost(l int) float64 {
+	return float64(l) * float64(b.WorkersPerTask) * b.Reward
+}
+
+// PackHITs splits the comparison tasks into HITs of at most perHIT
+// comparisons each, preserving order.
+func PackHITs(pairs []graph.Pair, perHIT int) ([]HIT, error) {
+	if perHIT < 1 {
+		return nil, fmt.Errorf("platform: HIT size must be >= 1, got %d", perHIT)
+	}
+	var hits []HIT
+	for start := 0; start < len(pairs); start += perHIT {
+		end := start + perHIT
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		batch := make([]graph.Pair, end-start)
+		copy(batch, pairs[start:end])
+		hits = append(hits, HIT{ID: len(hits), Pairs: batch})
+	}
+	return hits, nil
+}
+
+// AssignWorkers draws, for every HIT, w distinct workers from the pool of m.
+// The same comparison can reach different workers through different HITs;
+// within one HIT a worker answers each comparison once.
+func AssignWorkers(hits []HIT, m, w int, rng *rand.Rand) ([][]int, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("platform: need at least one worker per HIT, got w=%d", w)
+	}
+	if w > m {
+		return nil, fmt.Errorf("platform: w=%d workers per HIT exceeds pool of m=%d", w, m)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("platform: nil random source")
+	}
+	assigned := make([][]int, len(hits))
+	for h := range hits {
+		perm := rng.Perm(m)
+		assigned[h] = append([]int(nil), perm[:w]...)
+	}
+	return assigned, nil
+}
+
+// RoundResult is the outcome of one crowdsourcing round.
+type RoundResult struct {
+	Votes []crowd.Vote
+	// Spent is the money consumed: one reward per (comparison, worker).
+	Spent float64
+	// Elapsed measures the wall-clock time of answer collection (useful
+	// only for the simulated oracles; network latency is modeled separately
+	// by InteractiveSession).
+	Elapsed time.Duration
+}
+
+// RunNonInteractive executes the paper's one-shot setting: all HITs are
+// released at once to their assigned workers and every answer is collected.
+// reward is the payment per comparison per worker.
+func RunNonInteractive(hits []HIT, assigned [][]int, oracle Oracle, reward float64) (*RoundResult, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("platform: nil oracle")
+	}
+	if len(assigned) != len(hits) {
+		return nil, fmt.Errorf("platform: %d worker assignments for %d HITs", len(assigned), len(hits))
+	}
+	if reward < 0 {
+		return nil, fmt.Errorf("platform: negative reward %v", reward)
+	}
+	m := oracle.Workers()
+	start := time.Now()
+	var votes []crowd.Vote
+	for h, hit := range hits {
+		for _, worker := range assigned[h] {
+			if worker < 0 || worker >= m {
+				return nil, fmt.Errorf("platform: HIT %d assigned to unknown worker %d", hit.ID, worker)
+			}
+			for _, pr := range hit.Pairs {
+				votes = append(votes, crowd.Vote{
+					Worker:   worker,
+					I:        pr.I,
+					J:        pr.J,
+					PrefersI: oracle.Answer(worker, pr.I, pr.J),
+				})
+			}
+		}
+	}
+	spent := 0.0
+	for h := range hits {
+		spent += float64(len(hits[h].Pairs)) * float64(len(assigned[h])) * reward
+	}
+	return &RoundResult{Votes: votes, Spent: spent, Elapsed: time.Since(start)}, nil
+}
+
+// InteractiveSession drives round-by-round crowdsourcing for interactive
+// baselines such as CrowdBT: the requester submits one comparison at a time
+// and waits for the crowd's answers before choosing the next. RoundLatency
+// models the marketplace turnaround per round; it accumulates into
+// SimulatedLatency rather than actually sleeping, so experiments report the
+// interactive cost without waiting for it.
+type InteractiveSession struct {
+	oracle       Oracle
+	budget       Budget
+	roundLatency time.Duration
+	rng          *rand.Rand
+
+	votes            []crowd.Vote
+	spent            float64
+	rounds           int
+	simulatedLatency time.Duration
+}
+
+// NewInteractiveSession starts an interactive session against the oracle.
+func NewInteractiveSession(oracle Oracle, budget Budget, roundLatency time.Duration, rng *rand.Rand) (*InteractiveSession, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("platform: nil oracle")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("platform: nil random source")
+	}
+	if _, err := budget.MaxTasks(); err != nil {
+		return nil, err
+	}
+	if roundLatency < 0 {
+		return nil, fmt.Errorf("platform: negative round latency %v", roundLatency)
+	}
+	return &InteractiveSession{oracle: oracle, budget: budget, roundLatency: roundLatency, rng: rng}, nil
+}
+
+// Remaining returns the budget left.
+func (s *InteractiveSession) Remaining() float64 { return s.budget.Total - s.spent }
+
+// CanAfford reports whether one more comparison (answered by the configured
+// number of workers) fits in the remaining budget.
+func (s *InteractiveSession) CanAfford() bool {
+	return s.Remaining() >= float64(s.budget.WorkersPerTask)*s.budget.Reward-1e-9
+}
+
+// Ask crowdsources one comparison (i, j) to WorkersPerTask random distinct
+// workers, charging the budget and accruing one round of latency. It
+// returns the collected votes.
+func (s *InteractiveSession) Ask(i, j int) ([]crowd.Vote, error) {
+	if i == j || i < 0 || j < 0 {
+		return nil, fmt.Errorf("platform: invalid comparison (%d,%d)", i, j)
+	}
+	if !s.CanAfford() {
+		return nil, fmt.Errorf("platform: budget exhausted after %d rounds (spent %.4f of %.4f)",
+			s.rounds, s.spent, s.budget.Total)
+	}
+	m := s.oracle.Workers()
+	w := s.budget.WorkersPerTask
+	if w > m {
+		return nil, fmt.Errorf("platform: w=%d exceeds worker pool m=%d", w, m)
+	}
+	perm := s.rng.Perm(m)[:w]
+	batch := make([]crowd.Vote, 0, w)
+	for _, worker := range perm {
+		batch = append(batch, crowd.Vote{
+			Worker:   worker,
+			I:        i,
+			J:        j,
+			PrefersI: s.oracle.Answer(worker, i, j),
+		})
+	}
+	s.votes = append(s.votes, batch...)
+	s.spent += float64(w) * s.budget.Reward
+	s.rounds++
+	s.simulatedLatency += s.roundLatency
+	return batch, nil
+}
+
+// Votes returns all votes collected so far.
+func (s *InteractiveSession) Votes() []crowd.Vote {
+	out := make([]crowd.Vote, len(s.votes))
+	copy(out, s.votes)
+	return out
+}
+
+// Rounds returns the number of interactive rounds performed.
+func (s *InteractiveSession) Rounds() int { return s.rounds }
+
+// Spent returns the money consumed so far.
+func (s *InteractiveSession) Spent() float64 { return s.spent }
+
+// SimulatedLatency returns the accumulated marketplace turnaround time the
+// interactive protocol would have incurred.
+func (s *InteractiveSession) SimulatedLatency() time.Duration { return s.simulatedLatency }

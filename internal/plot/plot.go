@@ -1,0 +1,225 @@
+// Package plot renders simple line charts as self-contained SVG using only
+// the standard library, so the experiment harness's exported series
+// (cmd/experiments -tsv) can be turned into figures without any external
+// tooling. It supports multiple named series, automatic axis scaling with
+// round tick values, and a legend.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart describes a figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG canvas size in pixels; zero values get
+	// defaults of 720x480.
+	Width, Height int
+}
+
+// palette holds visually distinct series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 24.0
+	marginTop    = 48.0
+	marginBottom = 56.0
+)
+
+// WriteSVG renders the chart. Every series must have matching X/Y lengths
+// and at least one point overall.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+
+	var xs, ys []float64
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("plot: no data points")
+	}
+	xMin, xMax := minMax(xs)
+	yMin, yMax := minMax(ys)
+	xTicks := niceTicks(xMin, xMax, 6)
+	yTicks := niceTicks(yMin, yMax, 6)
+	xMin, xMax = xTicks[0], xTicks[len(xTicks)-1]
+	yMin, yMax = yTicks[0], yTicks[len(yTicks)-1]
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	px := func(x float64) float64 {
+		if xMax == xMin {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
+	}
+	py := func(y float64) float64 {
+		if yMax == yMin {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%g" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	// Grid and ticks.
+	for _, tx := range xTicks {
+		x := px(tx)
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+18, formatTick(tx))
+	}
+	for _, ty := range yTicks {
+		y := py(ty)
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-8, y+4, formatTick(ty))
+	}
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	// Axis labels.
+	fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-12, escape(c.XLabel))
+	fmt.Fprintf(w, `<text x="16" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series polylines with point markers, sorted by X per series.
+	for idx, s := range c.Series {
+		color := palette[idx%len(palette)]
+		points := sortedPoints(s)
+		path := ""
+		for i, pt := range points {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			path += fmt.Sprintf("%s%.2f %.2f ", cmd, px(pt[0]), py(pt[1]))
+		}
+		fmt.Fprintf(w, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", path, color)
+		for _, pt := range points {
+			fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n", px(pt[0]), py(pt[1]), color)
+		}
+	}
+
+	// Legend.
+	legendY := marginTop + 6
+	for idx, s := range c.Series {
+		color := palette[idx%len(palette)]
+		y := legendY + float64(idx)*18
+		x := marginLeft + plotW - 150
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			x, y, x+22, y, color)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			x+28, y+4, escape(s.Name))
+	}
+
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func sortedPoints(s Series) [][2]float64 {
+	points := make([][2]float64, len(s.X))
+	for i := range s.X {
+		points[i] = [2]float64{s.X[i], s.Y[i]}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a][0] < points[b][0] })
+	return points
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// niceTicks returns ~count round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, count int) []float64 {
+	if lo == hi {
+		return []float64{lo, lo + 1}
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(count))))
+	for span/step > float64(count)*2 {
+		step *= 2
+	}
+	for span/step > float64(count) {
+		step *= 2.5
+		if span/step <= float64(count) {
+			break
+		}
+		step *= 2
+	}
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/2; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	out := ""
+	for _, r := range s {
+		switch r {
+		case '<':
+			out += "&lt;"
+		case '>':
+			out += "&gt;"
+		case '&':
+			out += "&amp;"
+		default:
+			out += string(r)
+		}
+	}
+	return out
+}

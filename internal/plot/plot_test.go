@@ -1,0 +1,109 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "accuracy vs n",
+		XLabel: "objects",
+		YLabel: "accuracy",
+		Series: []Series{
+			{Name: "gaussian", X: []float64{100, 200, 300}, Y: []float64{0.9, 0.93, 0.95}},
+			{Name: "uniform", X: []float64{100, 200, 300}, Y: []float64{0.88, 0.92, 0.94}},
+		},
+	}
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleChart().WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"accuracy vs n", "objects", ">accuracy<",
+		"gaussian", "uniform",
+		"<path", "<circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<path") != 2 {
+		t.Errorf("want 2 series paths, got %d", strings.Count(out, "<path"))
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Errorf("want 6 point markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestWriteSVGValidation(t *testing.T) {
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	var sb strings.Builder
+	if err := bad.WriteSVG(&sb); err == nil {
+		t.Error("mismatched series lengths should fail")
+	}
+	empty := &Chart{}
+	if err := empty.WriteSVG(&sb); err == nil {
+		t.Error("empty chart should fail")
+	}
+}
+
+func TestWriteSVGEscapesMarkup(t *testing.T) {
+	c := sampleChart()
+	c.Title = "a<b & c>d"
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Error("markup not escaped in title")
+	}
+	if strings.Contains(out, "a<b") {
+		t.Error("raw markup leaked into SVG")
+	}
+}
+
+func TestNiceTicksCoverRange(t *testing.T) {
+	cases := [][2]float64{{0, 1}, {0.1, 0.97}, {100, 1000}, {-5, 5}, {3, 3}}
+	for _, c := range cases {
+		ticks := niceTicks(c[0], c[1], 6)
+		if len(ticks) < 2 {
+			t.Fatalf("range %v: too few ticks %v", c, ticks)
+		}
+		if ticks[0] > c[0] || ticks[len(ticks)-1] < c[1] {
+			t.Errorf("range %v not covered by ticks %v", c, ticks)
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Errorf("ticks not increasing: %v", ticks)
+			}
+		}
+	}
+}
+
+func TestWriteSVGSingleFlatSeries(t *testing.T) {
+	// Degenerate: one point, flat ranges must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{2}}}}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<circle") {
+		t.Error("single point not rendered")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(100) != "100" {
+		t.Errorf("formatTick(100) = %q", formatTick(100))
+	}
+	if formatTick(0.25) != "0.25" {
+		t.Errorf("formatTick(0.25) = %q", formatTick(0.25))
+	}
+}

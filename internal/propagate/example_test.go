@@ -1,0 +1,40 @@
+package propagate_test
+
+import (
+	"fmt"
+	"log"
+
+	"crowdrank/internal/graph"
+	"crowdrank/internal/propagate"
+)
+
+// ExampleClosure shows transitivity at work: 0 beats 1 and 1 beats 2 are
+// observed directly; the closure infers 0 over 2 and completes every pair.
+func ExampleClosure() {
+	g, err := graph.NewPreferenceGraph(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range []struct {
+		i, j int
+		w    float64
+	}{
+		{0, 1, 0.9}, {1, 0, 0.1},
+		{1, 2, 0.9}, {2, 1, 0.1},
+	} {
+		if err := g.SetWeight(e.i, e.j, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	closure, stats, err := propagate.Closure(g, propagate.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("complete:", closure.IsComplete())
+	fmt.Println("transitive pair 0<2 above 1/2:", closure.Weight(0, 2) > 0.5)
+	fmt.Println("uninformed pairs:", stats.UninformedPairs)
+	// Output:
+	// complete: true
+	// transitive pair 0<2 above 1/2: true
+	// uninformed pairs: 0
+}

@@ -1,0 +1,270 @@
+package propagate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"crowdrank/internal/graph"
+)
+
+func buildGraph(t *testing.T, n int, edges map[[2]int]float64) *graph.PreferenceGraph {
+	t.Helper()
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, w := range edges {
+		if err := g.SetWeight(e[0], e[1], w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestClosureValidation(t *testing.T) {
+	g := buildGraph(t, 2, map[[2]int]float64{{0, 1}: 0.8, {1, 0}: 0.2})
+	if _, _, err := Closure(nil, DefaultParams()); err == nil {
+		t.Error("nil graph should fail")
+	}
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.Alpha = -0.1 },
+		func(p *Params) { p.Alpha = 1.1 },
+		func(p *Params) { p.MaxHops = 0 },
+		func(p *Params) { p.PruneEpsilon = -1 },
+		func(p *Params) { p.PriorStrength = -1 },
+		func(p *Params) { p.WeightFloor = 0 },
+		func(p *Params) { p.WeightFloor = 0.5 },
+	} {
+		p := DefaultParams()
+		mutate(&p)
+		if _, _, err := Closure(g, p); err == nil {
+			t.Errorf("invalid params %+v should fail", p)
+		}
+	}
+}
+
+func TestClosureIsCompleteAndNormalized(t *testing.T) {
+	// Sparse chain: completeness must hold regardless (Theorem 5.1).
+	g := buildGraph(t, 5, map[[2]int]float64{
+		{0, 1}: 0.9, {1, 0}: 0.1,
+		{1, 2}: 0.8, {2, 1}: 0.2,
+		{2, 3}: 0.95, {3, 2}: 0.05,
+		{3, 4}: 0.7, {4, 3}: 0.3,
+	})
+	p := DefaultParams()
+	cl, stats, err := Closure(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsComplete() {
+		t.Fatal("closure must be complete")
+	}
+	n := cl.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			fwd, rev := cl.Weight(i, j), cl.Weight(j, i)
+			if math.Abs(fwd+rev-1) > 1e-12 {
+				t.Errorf("pair (%d,%d): %v + %v != 1", i, j, fwd, rev)
+			}
+			if fwd < p.WeightFloor || fwd > 1-p.WeightFloor {
+				t.Errorf("pair (%d,%d) weight %v escapes the floor", i, j, fwd)
+			}
+		}
+	}
+	if stats.HopsUsed != p.MaxHops {
+		t.Errorf("HopsUsed = %d", stats.HopsUsed)
+	}
+}
+
+func TestClosureTransitivityDirection(t *testing.T) {
+	// 0 beats 1, 1 beats 2; the inferred (0,2) preference must be > 0.5.
+	g := buildGraph(t, 3, map[[2]int]float64{
+		{0, 1}: 0.9, {1, 0}: 0.1,
+		{1, 2}: 0.9, {2, 1}: 0.1,
+	})
+	cl, _, err := Closure(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cl.Weight(0, 2); w <= 0.5 {
+		t.Errorf("transitive pair weight = %v, want > 0.5", w)
+	}
+}
+
+func TestClosureHopsOneKeepsDirectOnly(t *testing.T) {
+	g := buildGraph(t, 3, map[[2]int]float64{
+		{0, 1}: 0.9, {1, 0}: 0.1,
+		{1, 2}: 0.9, {2, 1}: 0.1,
+	})
+	p := DefaultParams()
+	p.MaxHops = 1
+	cl, stats, err := Closure(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (0,2) has no direct evidence and no propagation: 0.5.
+	if w := cl.Weight(0, 2); w != 0.5 {
+		t.Errorf("uninformed pair at hops=1 = %v, want 0.5", w)
+	}
+	if stats.UninformedPairs != 1 {
+		t.Errorf("UninformedPairs = %d, want 1", stats.UninformedPairs)
+	}
+	// Direct pairs keep their normalized direct value.
+	if w := cl.Weight(0, 1); math.Abs(w-0.9) > 1e-12 {
+		t.Errorf("direct pair = %v, want 0.9", w)
+	}
+}
+
+func TestClosureAlphaExtremes(t *testing.T) {
+	g := buildGraph(t, 3, map[[2]int]float64{
+		{0, 1}: 0.9, {1, 0}: 0.1,
+		{1, 2}: 0.9, {2, 1}: 0.1,
+		{0, 2}: 0.2, {2, 0}: 0.8, // direct evidence contradicting transitivity
+	})
+	// alpha=1: direct only; the contradicting direct evidence wins.
+	p := DefaultParams()
+	p.Alpha = 1
+	cl, _, err := Closure(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cl.Weight(0, 2); math.Abs(w-0.2) > 1e-12 {
+		t.Errorf("alpha=1: weight = %v, want 0.2", w)
+	}
+	// alpha=0: indirect only; transitivity wins.
+	p.Alpha = 0
+	cl, _, err = Closure(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cl.Weight(0, 2); w <= 0.5 {
+		t.Errorf("alpha=0: weight = %v, want > 0.5", w)
+	}
+}
+
+func TestClosurePriorShrinksWeakEvidence(t *testing.T) {
+	// A single weak transitive chain versus many strong ones: with the
+	// prior enabled, the weakly evidenced pair must sit closer to 0.5 than
+	// without it.
+	g := buildGraph(t, 4, map[[2]int]float64{
+		{0, 1}: 0.9, {1, 0}: 0.1,
+		{1, 2}: 0.9, {2, 1}: 0.1,
+		{2, 3}: 0.9, {3, 2}: 0.1,
+	})
+	noPrior := DefaultParams()
+	noPrior.PriorStrength = 0
+	clNo, _, err := Closure(g, noPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPrior := DefaultParams()
+	withPrior.PriorStrength = 5
+	clYes, _, err := Closure(g, withPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,3) is reachable only by the single 3-hop chain: weak evidence.
+	weakNo := clNo.Weight(0, 3)
+	weakYes := clYes.Weight(0, 3)
+	if !(weakYes < weakNo && weakYes > 0.5) {
+		t.Errorf("prior should shrink weak pair toward 0.5: %v -> %v", weakNo, weakYes)
+	}
+}
+
+func TestClosureUninformedPairFallsBackToHalf(t *testing.T) {
+	// Two disconnected components: cross pairs have no evidence at all.
+	g := buildGraph(t, 4, map[[2]int]float64{
+		{0, 1}: 0.9, {1, 0}: 0.1,
+		{2, 3}: 0.8, {3, 2}: 0.2,
+	})
+	cl, stats, err := Closure(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		if w := cl.Weight(pr[0], pr[1]); w != 0.5 {
+			t.Errorf("cross pair %v = %v, want 0.5", pr, w)
+		}
+	}
+	if stats.UninformedPairs != 4 {
+		t.Errorf("UninformedPairs = %d, want 4", stats.UninformedPairs)
+	}
+}
+
+func TestClosureHopsClampedToNMinusOne(t *testing.T) {
+	g := buildGraph(t, 3, map[[2]int]float64{{0, 1}: 0.9, {1, 2}: 0.9})
+	p := DefaultParams()
+	p.MaxHops = 50
+	_, stats, err := Closure(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HopsUsed != 2 {
+		t.Errorf("HopsUsed = %d, want 2 (n-1)", stats.HopsUsed)
+	}
+}
+
+func TestClosurePropertiesQuick(t *testing.T) {
+	// Property: for random strongly-mixed graphs the closure is complete,
+	// pairwise-normalized and floor-respecting.
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		n := int(nRaw%10) + 2
+		g, err := graph.NewPreferenceGraph(n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					continue
+				}
+				w := 0.05 + 0.9*rng.Float64()
+				if g.SetWeight(i, j, w) != nil || g.SetWeight(j, i, 1-w) != nil {
+					return false
+				}
+			}
+		}
+		p := DefaultParams()
+		cl, _, err := Closure(g, p)
+		if err != nil {
+			return false
+		}
+		if !cl.IsComplete() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				fwd := cl.Weight(i, j)
+				if math.Abs(fwd+cl.Weight(j, i)-1) > 1e-9 {
+					return false
+				}
+				if fwd < p.WeightFloor || fwd > 1-p.WeightFloor {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosureAlwaysHamiltonian(t *testing.T) {
+	// Theorem 5.1: the closure of any (even disconnected) preference graph
+	// admits a Hamiltonian path because it is complete.
+	g := buildGraph(t, 6, map[[2]int]float64{
+		{0, 1}: 1,
+		{3, 4}: 0.6, {4, 3}: 0.4,
+	})
+	cl, _, err := Closure(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.HasHamiltonianPathReachability() {
+		t.Error("complete closure must admit a Hamiltonian path")
+	}
+}

@@ -1,0 +1,185 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"crowdrank/internal/graph"
+)
+
+// BranchAndBoundParams tunes the exact all-pairs search.
+type BranchAndBoundParams struct {
+	// MaxNodes caps the number of search-tree nodes expanded; the search
+	// returns an error if the cap is hit before optimality is proven.
+	// 0 means the default of 5 million.
+	MaxNodes int
+}
+
+// BranchAndBound finds the exact optimum of the all-pairs objective
+// (weighted linear ordering) by depth-first branch and bound over ranking
+// prefixes. Unlike Held-Karp's O(2^n) table it needs only O(n) memory, and
+// on the near-consistent tournaments the inference pipeline produces its
+// admissible bound prunes aggressively, solving n = 30-50 instances that
+// are far out of Held-Karp's reach — an exact reference for validating
+// SAPS beyond 20 objects.
+//
+// The bound: a prefix's score plus, for every not-yet-ordered pair, the
+// larger of the two orientations' log-weights — attainable only if all
+// remaining pairwise preferences are simultaneously satisfiable, hence an
+// upper bound. The incumbent starts at the insertion-polished score-ranked
+// order, so pruning is strong from the first node.
+//
+// Only ObjectiveAllPairs is supported: the consecutive objective lacks a
+// comparably tight prefix bound (use HeldKarp for it).
+func BranchAndBound(g *graph.PreferenceGraph, p BranchAndBoundParams) (*Result, error) {
+	maxNodes := p.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 5_000_000
+	}
+	logw, err := logWeights(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n == 1 {
+		return newResult([]int{0}, 0, 1), nil
+	}
+
+	// Incumbent: insertion-polished score-ranked order.
+	start, err := InsertionPolish(g, scoreRankedOrder(g), ObjectiveAllPairs, 0)
+	if err != nil {
+		return nil, err
+	}
+	best := append([]int(nil), start.Path...)
+	bestScore := start.LogProb
+
+	// bestPairLog[i][j] = max(logw[i][j], logw[j][i]); rowSlack[v] =
+	// sum over u != v of bestPairLog contributions are folded into the
+	// total optimistic mass maintained incrementally below.
+	pairGain := make([][]float64, n)
+	for i := range pairGain {
+		pairGain[i] = make([]float64, n)
+		for j := range pairGain[i] {
+			if i != j {
+				pairGain[i][j] = math.Max(logw[i][j], logw[j][i])
+			}
+		}
+	}
+	// totalOptimistic = sum over unordered pairs of the best orientation.
+	totalOptimistic := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			totalOptimistic += pairGain[i][j]
+		}
+	}
+
+	// Static child ordering: score-ranked, so promising prefixes come first.
+	order := scoreRankedOrder(g)
+
+	prefix := make([]int, 0, n)
+	used := make([]bool, n)
+	nodes := 0
+
+	// The DFS carries two running quantities:
+	//   score    — exact score of all pairs with at least one endpoint
+	//              placed (placed-placed pairs exact, placed-unplaced pairs
+	//              exact because the placed one precedes every unplaced).
+	//   slack    — sum of pairGain over pairs with BOTH endpoints unplaced.
+	// Bound = score + slack.
+	var dfs func(score, slack float64) error
+	dfs = func(score, slack float64) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("search: BranchAndBound exceeded %d nodes; instance too hard, use SAPS", maxNodes)
+		}
+		if len(prefix) == n {
+			if score > bestScore {
+				bestScore = score
+				copy(best, prefix)
+			}
+			return nil
+		}
+		for _, v := range order {
+			if used[v] {
+				continue
+			}
+			// Appending v removes the optimistic mass of every (v, w) pair
+			// with w unplaced from the slack and adds the exact
+			// logw[v][w] to the score (v precedes all unplaced w). Pairs
+			// (u, v) with u already placed were accounted for exactly when
+			// u was appended, by the same rule.
+			slackLoss := 0.0
+			exactGain := 0.0
+			for w := 0; w < n; w++ {
+				if used[w] || w == v {
+					continue
+				}
+				slackLoss += pairGain[v][w]
+				exactGain += logw[v][w]
+			}
+			newScore := score + exactGain
+			newSlack := slack - slackLoss
+			if newScore+newSlack <= bestScore+1e-12 {
+				continue // prune
+			}
+			prefix = append(prefix, v)
+			used[v] = true
+			if err := dfs(newScore, newSlack); err != nil {
+				return err
+			}
+			prefix = prefix[:len(prefix)-1]
+			used[v] = false
+		}
+		return nil
+	}
+
+	if err := dfs(0, totalOptimistic); err != nil {
+		return nil, err
+	}
+	res := newResult(best, bestScore, nodes)
+	return res, nil
+}
+
+// Certificate bounds how far a ranking can be from the all-pairs optimum
+// without running any search: Gap is the difference between the root
+// optimistic bound (every pair at its better orientation) and the ranking's
+// own score. The true optimality gap is at most Gap; a Gap of zero proves
+// the ranking optimal.
+type Certificate struct {
+	// Score is the ranking's all-pairs log score.
+	Score float64
+	// UpperBound is the root bound no ranking can exceed.
+	UpperBound float64
+	// Gap = UpperBound - Score >= (optimum - Score) >= 0.
+	Gap float64
+}
+
+// Certify computes the optimality certificate of a ranking under the
+// all-pairs objective in O(n^2), with no search. It is useful as a cheap
+// post-inference sanity measure: on well-calibrated closures the SAPS
+// result's Gap is small relative to |Score|.
+func Certify(g *graph.PreferenceGraph, path []int) (*Certificate, error) {
+	logw, err := logWeights(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if len(path) != n {
+		return nil, fmt.Errorf("search: path length %d does not match graph size %d", len(path), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range path {
+		if v < 0 || v >= n || seen[v] {
+			return nil, fmt.Errorf("search: path is not a permutation")
+		}
+		seen[v] = true
+	}
+	score := scorePath(logw, path, ObjectiveAllPairs)
+	bound := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			bound += math.Max(logw[i][j], logw[j][i])
+		}
+	}
+	return &Certificate{Score: score, UpperBound: bound, Gap: bound - score}, nil
+}

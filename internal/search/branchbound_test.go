@@ -1,0 +1,140 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"crowdrank/internal/graph"
+)
+
+func TestBranchAndBoundMatchesHeldKarp(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := newRNG(uint64(trial + 7000))
+		n := 4 + rng.IntN(10)
+		g := randomTournament(t, n, rng)
+		exact, err := HeldKarp(g, 0, ObjectiveAllPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := BranchAndBound(g, BranchAndBoundParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bb.LogProb-exact.LogProb) > 1e-9 {
+			t.Fatalf("n=%d: BnB %v != Held-Karp %v", n, bb.LogProb, exact.LogProb)
+		}
+	}
+}
+
+func TestBranchAndBoundBeyondHeldKarp(t *testing.T) {
+	// On a near-consistent 30-object tournament (the pipeline's regime) the
+	// bound prunes enough to prove optimality, and SAPS must not beat it.
+	rng := newRNG(42)
+	n := 30
+	g, err := buildNoisyOrdered(n, 0.9, 0.03, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := BranchAndBound(g, BranchAndBoundParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultSAPSParams()
+	p.Iterations = 400
+	sa, err := SAPS(g, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.LogProb > bb.LogProb+1e-9 {
+		t.Fatalf("SAPS %v beat the proven optimum %v", sa.LogProb, bb.LogProb)
+	}
+	if bb.Evaluations <= 0 {
+		t.Error("node count missing")
+	}
+}
+
+func TestBranchAndBoundNodeCap(t *testing.T) {
+	// A fully random (cycle-heavy) tournament at n=20 with a 100-node cap
+	// must refuse rather than return an unproven answer.
+	rng := newRNG(9)
+	g := randomTournament(t, 20, rng)
+	if _, err := BranchAndBound(g, BranchAndBoundParams{MaxNodes: 100}); err == nil {
+		t.Error("node cap should trigger on a hard instance")
+	}
+}
+
+func TestBranchAndBoundValidation(t *testing.T) {
+	g, err := graph.NewPreferenceGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWeight(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BranchAndBound(g, BranchAndBoundParams{}); err == nil {
+		t.Error("incomplete graph should fail")
+	}
+}
+
+// buildNoisyOrdered builds a tournament mostly consistent with the identity
+// order: forward weight `strength` with a `flip` fraction of pairs
+// inverted.
+func buildNoisyOrdered(n int, strength, flip float64, rng interface{ Float64() float64 }) (*graph.PreferenceGraph, error) {
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := strength
+			if rng.Float64() < flip {
+				w = 1 - strength
+			}
+			if err := g.SetWeight(i, j, w); err != nil {
+				return nil, err
+			}
+			if err := g.SetWeight(j, i, 1-w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+func TestCertify(t *testing.T) {
+	g := orderedTournament(t, 6, 0.9)
+	identity := []int{0, 1, 2, 3, 4, 5}
+	cert, err := Certify(g, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a perfectly consistent tournament the identity order attains the
+	// bound exactly: gap zero proves optimality.
+	if math.Abs(cert.Gap) > 1e-9 {
+		t.Errorf("identity on consistent tournament should certify optimal, gap = %v", cert.Gap)
+	}
+	// The reversed order has a large certified gap.
+	reversed := []int{5, 4, 3, 2, 1, 0}
+	rc, err := Certify(g, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Gap <= cert.Gap {
+		t.Errorf("reversed order should have a larger gap: %v <= %v", rc.Gap, cert.Gap)
+	}
+	// Gap upper-bounds the true optimality gap: exact optimum score must
+	// lie within [Score, UpperBound].
+	exact, err := HeldKarp(g, 0, ObjectiveAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.LogProb > rc.UpperBound+1e-9 || exact.LogProb < rc.Score-1e-9 {
+		t.Errorf("optimum %v outside certificate range [%v, %v]", exact.LogProb, rc.Score, rc.UpperBound)
+	}
+	if _, err := Certify(g, []int{0, 1}); err == nil {
+		t.Error("short path should fail")
+	}
+	if _, err := Certify(g, []int{0, 0, 1, 2, 3, 4}); err == nil {
+		t.Error("non-permutation should fail")
+	}
+}

@@ -1,0 +1,83 @@
+package search_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"crowdrank/internal/graph"
+	"crowdrank/internal/search"
+)
+
+// buildOrdered builds a complete tournament consistent with the identity
+// order: w(i, j) = 0.9 for i < j.
+func buildOrdered(n int) *graph.PreferenceGraph {
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.SetWeight(i, j, 0.9); err != nil {
+				log.Fatal(err)
+			}
+			if err := g.SetWeight(j, i, 0.1); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// ExampleSAPS finds the best ranking of a decisively ordered tournament.
+func ExampleSAPS() {
+	g := buildOrdered(8)
+	rng := rand.New(rand.NewPCG(1, 2))
+	res, err := search.SAPS(g, search.DefaultSAPSParams(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ranking:", res.Path)
+	// Output:
+	// ranking: [0 1 2 3 4 5 6 7]
+}
+
+// ExampleHeldKarp solves the same instance exactly; SAPS and the exact DP
+// agree on the optimum.
+func ExampleHeldKarp() {
+	g := buildOrdered(8)
+	exact, err := search.HeldKarp(g, 0, search.ObjectiveAllPairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ranking:", exact.Path)
+	// Output:
+	// ranking: [0 1 2 3 4 5 6 7]
+}
+
+// ExampleTAPS runs the paper's threshold algorithm with early termination.
+func ExampleTAPS() {
+	g := buildOrdered(6)
+	res, err := search.TAPS(g, search.TAPSParams{Objective: search.ObjectiveConsecutive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ranking:", res.Path)
+	fmt.Println("stopped before scanning all 720 paths:", res.Depth < 720)
+	// Output:
+	// ranking: [0 1 2 3 4 5]
+	// stopped before scanning all 720 paths: true
+}
+
+// ExampleInsertionPolish refines a scrambled ranking to a local optimum.
+func ExampleInsertionPolish() {
+	g := buildOrdered(6)
+	scrambled := []int{5, 3, 1, 0, 4, 2}
+	res, err := search.InsertionPolish(g, scrambled, search.ObjectiveAllPairs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ranking:", res.Path)
+	// Output:
+	// ranking: [0 1 2 3 4 5]
+}

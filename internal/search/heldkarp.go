@@ -1,0 +1,162 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"crowdrank/internal/graph"
+)
+
+// HeldKarp finds the exact best ranking by dynamic programming over vertex
+// subsets. It refuses n > maxN (pass 0 for the default limit of 20, which
+// covers the paper's 20-image AMT setting).
+//
+// Under ObjectiveConsecutive the recurrence is the classical Held-Karp:
+// dp[S][j] is the best log-probability of a path visiting exactly S and
+// ending at j — O(2^n n^2) time, O(2^n n) memory.
+//
+// Under ObjectiveAllPairs the objective decomposes over "who is appended
+// last": appending k after the set S adds sum over s in S of log w(s, k)
+// regardless of S's internal order, so dp[S] alone suffices — O(2^n n^2)
+// time, O(2^n) memory.
+func HeldKarp(g *graph.PreferenceGraph, maxN int, obj Objective) (*Result, error) {
+	if maxN <= 0 {
+		maxN = 20
+	}
+	if maxN > 24 {
+		return nil, fmt.Errorf("search: HeldKarp limit %d too large (memory is O(2^n n))", maxN)
+	}
+	if !obj.valid() {
+		return nil, fmt.Errorf("search: unknown objective %d", obj)
+	}
+	logw, err := logWeights(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n > maxN {
+		return nil, fmt.Errorf("search: HeldKarp limited to n <= %d, got n=%d", maxN, n)
+	}
+	if n == 1 {
+		return newResult([]int{0}, 0, 1), nil
+	}
+	if obj == ObjectiveAllPairs {
+		return heldKarpAllPairs(logw, n)
+	}
+	return heldKarpConsecutive(logw, n)
+}
+
+func heldKarpConsecutive(logw [][]float64, n int) (*Result, error) {
+	size := 1 << uint(n)
+	negInf := math.Inf(-1)
+	dp := make([]float64, size*n)
+	parent := make([]int16, size*n)
+	for i := range dp {
+		dp[i] = negInf
+		parent[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		dp[(1<<uint(v))*n+v] = 0
+	}
+
+	evals := 0
+	for s := 1; s < size; s++ {
+		base := s * n
+		for j := 0; j < n; j++ {
+			cur := dp[base+j]
+			if cur == negInf || s&(1<<uint(j)) == 0 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if s&(1<<uint(k)) != 0 {
+					continue
+				}
+				ns := s | 1<<uint(k)
+				cand := cur + logw[j][k]
+				evals++
+				if cand > dp[ns*n+k] {
+					dp[ns*n+k] = cand
+					parent[ns*n+k] = int16(j)
+				}
+			}
+		}
+	}
+
+	full := size - 1
+	bestEnd := 0
+	bestLog := dp[full*n]
+	for j := 1; j < n; j++ {
+		if dp[full*n+j] > bestLog {
+			bestLog = dp[full*n+j]
+			bestEnd = j
+		}
+	}
+
+	// Reconstruct the path back-to-front.
+	path := make([]int, n)
+	s, j := full, bestEnd
+	for idx := n - 1; idx >= 0; idx-- {
+		path[idx] = j
+		pj := parent[s*n+j]
+		s &^= 1 << uint(j)
+		if pj < 0 {
+			break
+		}
+		j = int(pj)
+	}
+	return newResult(path, bestLog, evals), nil
+}
+
+func heldKarpAllPairs(logw [][]float64, n int) (*Result, error) {
+	size := 1 << uint(n)
+	negInf := math.Inf(-1)
+	dp := make([]float64, size)
+	last := make([]int16, size)
+	for i := range dp {
+		dp[i] = negInf
+		last[i] = -1
+	}
+	dp[0] = 0
+
+	evals := 0
+	for s := 0; s < size-1; s++ {
+		cur := dp[s]
+		if cur == negInf {
+			continue
+		}
+		for k := 0; k < n; k++ {
+			if s&(1<<uint(k)) != 0 {
+				continue
+			}
+			// Appending k after every member of s adds sum of log w(s_i, k).
+			add := 0.0
+			rest := s
+			for rest != 0 {
+				v := bits.TrailingZeros(uint(rest))
+				rest &= rest - 1
+				add += logw[v][k]
+			}
+			ns := s | 1<<uint(k)
+			cand := cur + add
+			evals++
+			if cand > dp[ns] {
+				dp[ns] = cand
+				last[ns] = int16(k)
+			}
+		}
+	}
+
+	full := size - 1
+	path := make([]int, n)
+	s := full
+	for idx := n - 1; idx >= 0; idx-- {
+		k := last[s]
+		if k < 0 {
+			return nil, fmt.Errorf("search: HeldKarp reconstruction failed (internal error)")
+		}
+		path[idx] = int(k)
+		s &^= 1 << uint(k)
+	}
+	return newResult(path, dp[full], evals), nil
+}

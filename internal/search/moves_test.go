@@ -1,0 +1,98 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMoveDeltasMatchRecompute drives the three SAPS proposal moves with a
+// huge temperature (so nearly every proposal is accepted) and verifies after
+// every single move that the incrementally maintained cost equals a full
+// recomputation — a direct check of each delta formula, per objective.
+func TestMoveDeltasMatchRecompute(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		for trial := 0; trial < 5; trial++ {
+			rng := newRNG(uint64(trial + 8000))
+			n := 5 + rng.IntN(15)
+			g := randomTournament(t, n, rng)
+			logw, err := logWeights(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := &sapsState{logw: logw, obj: obj, path: rng.Perm(n)}
+			st.cost = -scorePath(logw, st.path, obj)
+			const hotTemp = 1e12 // accept essentially everything
+			check := func(move string, step int) {
+				t.Helper()
+				want := -scorePath(logw, st.path, obj)
+				if math.Abs(st.cost-want) > 1e-6 {
+					t.Fatalf("%v %s step %d: incremental cost %v != recomputed %v",
+						obj, move, step, st.cost, want)
+				}
+			}
+			for step := 0; step < 60; step++ {
+				st.proposeRotate(rng, hotTemp)
+				check("rotate", step)
+				st.proposeReverse(rng, hotTemp)
+				check("reverse", step)
+				st.proposeSwap(rng, hotTemp)
+				check("swap", step)
+			}
+		}
+	}
+}
+
+// TestMovesPreservePermutation verifies the move implementations never
+// corrupt the path.
+func TestMovesPreservePermutation(t *testing.T) {
+	rng := newRNG(8100)
+	n := 12
+	g := randomTournament(t, n, rng)
+	logw, err := logWeights(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &sapsState{logw: logw, obj: ObjectiveAllPairs, path: rng.Perm(n)}
+	st.cost = -scorePath(logw, st.path, ObjectiveAllPairs)
+	for step := 0; step < 200; step++ {
+		st.proposeRotate(rng, 1e12)
+		st.proposeReverse(rng, 1e12)
+		st.proposeSwap(rng, 1e12)
+		seen := make([]bool, n)
+		for _, v := range st.path {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("step %d corrupted the path: %v", step, st.path)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestAcceptSemantics checks the Metropolis rule directly.
+func TestAcceptSemantics(t *testing.T) {
+	rng := newRNG(8200)
+	if !accept(-1, 0.5, rng) {
+		t.Error("improving moves must always be accepted")
+	}
+	if accept(1, 0, rng) {
+		t.Error("worsening moves at zero temperature must be rejected")
+	}
+	// At delta/T = 10 the acceptance probability is ~4.5e-5: out of 2000
+	// tries, essentially none should pass; at delta/T = 0.01, essentially
+	// all should.
+	hot, cold := 0, 0
+	for i := 0; i < 2000; i++ {
+		if accept(0.01, 1, rng) {
+			hot++
+		}
+		if accept(10, 1, rng) {
+			cold++
+		}
+	}
+	if hot < 1900 {
+		t.Errorf("near-neutral acceptance rate too low: %d/2000", hot)
+	}
+	if cold > 10 {
+		t.Errorf("strongly-worsening acceptance rate too high: %d/2000", cold)
+	}
+}

@@ -1,0 +1,69 @@
+package search
+
+import "fmt"
+
+// Objective selects what "preference probability of a Hamiltonian path"
+// means in Step 4 (Section V-D).
+//
+// The paper defines Pr[P] = prod over (v_i, v_j) in P of w_ij for an HP of
+// the *transitive closure* G_P^*. Because the closure of a path contains an
+// edge for every ordered pair along it, this product has two readings:
+//
+//   - ObjectiveAllPairs: the product runs over all C(n,2) ordered pairs the
+//     ranking implies — the weighted linear-ordering (Kemeny-like)
+//     objective. This reading is sound: with calibrated pairwise weights its
+//     maximizer is the consensus ranking, and it matches the paper's stated
+//     SAPS complexity O(N n^2 + n^3 + n^2 log n) (O(n)-delta moves over N
+//     iterations and n starts, plus n score-ranked initializations of O(n^2)
+//     each). It is the default.
+//
+//   - ObjectiveConsecutive: the product runs over only the n-1 consecutive
+//     edges of the path — the literal reading of the formula. This
+//     objective is exploitable on sparse budgets: a path can chain strongly
+//     weighted long jumps and near-0.5 "filler" edges into a high-product
+//     but badly ordered ranking ("sawtooth paths"), so optimizing it can
+//     reduce ranking accuracy. It is kept for fidelity and for the
+//     objective ablation benchmark; TAPS's list structure (n-1 lists, one
+//     per path edge) is defined for it.
+//
+// See DESIGN.md ("objective reading") for the full analysis.
+type Objective int
+
+const (
+	// ObjectiveAllPairs scores a ranking by the product of w over all
+	// ordered pairs it implies.
+	ObjectiveAllPairs Objective = iota
+	// ObjectiveConsecutive scores a ranking by the product of w over its
+	// n-1 consecutive edges.
+	ObjectiveConsecutive
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveAllPairs:
+		return "all-pairs"
+	case ObjectiveConsecutive:
+		return "consecutive"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+func (o Objective) valid() bool {
+	return o == ObjectiveAllPairs || o == ObjectiveConsecutive
+}
+
+// scorePath returns the log preference probability of path under the
+// objective.
+func scorePath(logw [][]float64, path []int, o Objective) float64 {
+	if o == ObjectiveConsecutive {
+		return pathLogProb(logw, path)
+	}
+	sum := 0.0
+	for a := 0; a < len(path); a++ {
+		for b := a + 1; b < len(path); b++ {
+			sum += logw[path[a]][path[b]]
+		}
+	}
+	return sum
+}

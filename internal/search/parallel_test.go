@@ -1,0 +1,63 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSAPSParallelMatchesSequential verifies that fanning the starts over
+// goroutines does not change the result for a fixed seed.
+func TestSAPSParallelMatchesSequential(t *testing.T) {
+	g := randomTournament(t, 40, newRNG(77))
+	base := DefaultSAPSParams()
+	base.Starts = 8
+	base.Iterations = 100
+
+	sequential := base
+	sequential.Parallelism = 1
+	seq, err := SAPS(g, sequential, newRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 16} {
+		parallel := base
+		parallel.Parallelism = workers
+		par, err := SAPS(g, parallel, newRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(par.LogProb-seq.LogProb) > 1e-12 {
+			t.Fatalf("parallelism=%d: LogProb %v != sequential %v", workers, par.LogProb, seq.LogProb)
+		}
+		for i := range seq.Path {
+			if par.Path[i] != seq.Path[i] {
+				t.Fatalf("parallelism=%d: path differs at %d: %v vs %v",
+					workers, i, par.Path, seq.Path)
+			}
+		}
+	}
+}
+
+// TestSAPSParallelValidation rejects negative parallelism.
+func TestSAPSParallelValidation(t *testing.T) {
+	g := randomTournament(t, 5, newRNG(1))
+	p := DefaultSAPSParams()
+	p.Parallelism = -1
+	if _, err := SAPS(g, p, newRNG(1)); err == nil {
+		t.Error("negative parallelism should fail")
+	}
+}
+
+// TestSAPSParallelRace exercises the parallel path under the race detector
+// (run with go test -race).
+func TestSAPSParallelRace(t *testing.T) {
+	g := randomTournament(t, 30, newRNG(3))
+	p := DefaultSAPSParams()
+	p.Starts = 16
+	p.Iterations = 50
+	p.Parallelism = 8
+	if _, err := SAPS(g, p, newRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+}

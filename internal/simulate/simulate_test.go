@@ -1,0 +1,196 @@
+package simulate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 4)) }
+
+func TestNewCrowdValidation(t *testing.T) {
+	rng := newRNG(1)
+	if _, err := NewCrowd(0, Gaussian, MediumQuality, rng); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewCrowd(3, Gaussian, MediumQuality, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := NewCrowd(3, 99, MediumQuality, rng); err == nil {
+		t.Error("unknown distribution should fail")
+	}
+	if _, err := NewCrowd(3, Gaussian, 99, rng); err == nil {
+		t.Error("unknown level should fail")
+	}
+}
+
+func TestCrowdSigmaRanges(t *testing.T) {
+	rng := newRNG(2)
+	// Uniform sigmas must land in the paper's stated ranges.
+	ranges := map[QualityLevel][2]float64{
+		HighQuality:   {0, 0.2},
+		MediumQuality: {0.1, 0.3},
+		LowQuality:    {0.2, 0.4},
+	}
+	for level, bounds := range ranges {
+		c, err := NewCrowd(500, Uniform, level, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < c.Size(); k++ {
+			s := c.Sigma(k)
+			if s < bounds[0] || s > bounds[1] {
+				t.Fatalf("%v: sigma %v outside [%v,%v]", level, s, bounds[0], bounds[1])
+			}
+		}
+	}
+	// Gaussian sigmas are |N(0, sigma_s^2)|: nonnegative, and the sample
+	// mean tracks sigma_s * sqrt(2/pi).
+	c, err := NewCrowd(5000, Gaussian, MediumQuality, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for k := 0; k < c.Size(); k++ {
+		if c.Sigma(k) < 0 {
+			t.Fatal("negative sigma")
+		}
+		sum += c.Sigma(k)
+	}
+	mean := sum / float64(c.Size())
+	want := 0.1 * math.Sqrt(2/math.Pi)
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("gaussian sigma mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestQualityLevelOrdering(t *testing.T) {
+	// Higher quality level -> statistically smaller sigma.
+	rng := newRNG(3)
+	meanSigma := func(level QualityLevel) float64 {
+		c, err := NewCrowd(2000, Gaussian, level, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for k := 0; k < c.Size(); k++ {
+			sum += c.Sigma(k)
+		}
+		return sum / float64(c.Size())
+	}
+	hi, med, lo := meanSigma(HighQuality), meanSigma(MediumQuality), meanSigma(LowQuality)
+	if !(hi < med && med < lo) {
+		t.Errorf("sigma ordering violated: high=%v medium=%v low=%v", hi, med, lo)
+	}
+}
+
+func TestNewCrowdFromSigmas(t *testing.T) {
+	c, err := NewCrowdFromSigmas([]float64{0.1, 0.2})
+	if err != nil || c.Size() != 2 || c.Sigma(1) != 0.2 {
+		t.Fatalf("NewCrowdFromSigmas: %v, %v", c, err)
+	}
+	if _, err := NewCrowdFromSigmas(nil); err == nil {
+		t.Error("empty sigmas should fail")
+	}
+	if _, err := NewCrowdFromSigmas([]float64{-1}); err == nil {
+		t.Error("negative sigma should fail")
+	}
+}
+
+func TestErrorProbabilityBounded(t *testing.T) {
+	c, err := NewCrowdFromSigmas([]float64{5}) // huge sigma: clamp matters
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRNG(4)
+	for trial := 0; trial < 200; trial++ {
+		eps := c.ErrorProbability(0, rng)
+		if eps < 0 || eps > 1 {
+			t.Fatalf("eps = %v outside [0,1]", eps)
+		}
+	}
+}
+
+func TestGroundTruthOracleAccuracyTracksSigma(t *testing.T) {
+	rng := newRNG(5)
+	truth, err := GroundTruth(30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(truth))
+	for r, o := range truth {
+		pos[o] = r
+	}
+	c, err := NewCrowdFromSigmas([]float64{0.001, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewGroundTruthOracle(c, truth, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Workers() != 2 {
+		t.Fatal("Workers() wrong")
+	}
+	rate := func(worker int) float64 {
+		correct, attempts := 0, 0
+		const trials = 2000
+		for trial := 0; trial < trials; trial++ {
+			i, j := rng.IntN(30), rng.IntN(30)
+			if i == j {
+				continue
+			}
+			attempts++
+			got := oracle.Answer(worker, i, j)
+			if got == (pos[i] < pos[j]) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(attempts)
+	}
+	good, bad := rate(0), rate(1)
+	if good < 0.97 {
+		t.Errorf("near-perfect worker accuracy = %v", good)
+	}
+	if bad >= good {
+		t.Errorf("noisy worker (%v) should be worse than precise one (%v)", bad, good)
+	}
+}
+
+func TestNewGroundTruthOracleValidation(t *testing.T) {
+	rng := newRNG(6)
+	c, _ := NewCrowdFromSigmas([]float64{0.1})
+	if _, err := NewGroundTruthOracle(nil, []int{0}, rng); err == nil {
+		t.Error("nil crowd should fail")
+	}
+	if _, err := NewGroundTruthOracle(c, []int{0}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := NewGroundTruthOracle(c, []int{0, 0}, rng); err == nil {
+		t.Error("non-permutation truth should fail")
+	}
+	if _, err := NewGroundTruthOracle(c, []int{1, 2}, rng); err == nil {
+		t.Error("out-of-range truth should fail")
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	rng := newRNG(7)
+	perm, err := GroundTruth(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 50)
+	for _, v := range perm {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	if _, err := GroundTruth(0, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := GroundTruth(5, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}

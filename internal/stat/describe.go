@@ -1,0 +1,121 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs without mutating it, or 0 for an empty
+// slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on an empty slice
+// because there is no meaningful zero value for an extremum.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stat: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("stat: Clamp with inverted bounds [%v, %v]", lo, hi))
+	}
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// Summary holds descriptive statistics for a sample, used by the experiment
+// harness to report sweep results.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Median float64
+	Min    float64
+	Max    float64
+}
+
+// Describe computes a Summary of xs. An empty sample yields a zero Summary.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	lo, hi := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Median: Median(xs),
+		Min:    lo,
+		Max:    hi,
+	}
+}
+
+// String renders a Summary compactly for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g med=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Median, s.Min, s.Max)
+}

@@ -1,0 +1,127 @@
+package stat
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	tests := []struct {
+		name           string
+		xs             []float64
+		mean, variance float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{5}, 5, 0},
+		{"pair", []float64{2, 4}, 3, 1},
+		{"symmetric", []float64{-1, 0, 1}, 0, 2.0 / 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.xs); !almostEqual(got, tc.mean, 1e-12) {
+				t.Errorf("Mean = %v, want %v", got, tc.mean)
+			}
+			if got := Variance(tc.xs); !almostEqual(got, tc.variance, 1e-12) {
+				t.Errorf("Variance = %v, want %v", got, tc.variance)
+			}
+			if got := StdDev(tc.xs); !almostEqual(got, math.Sqrt(tc.variance), 1e-12) {
+				t.Errorf("StdDev = %v, want %v", got, math.Sqrt(tc.variance))
+			}
+		})
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tc := range tests {
+		if got := Median(tc.xs); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax of empty slice should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp(5,0,3) = %v", got)
+	}
+	if got := Clamp(-5, 0, 3); got != 0 {
+		t.Errorf("Clamp(-5,0,3) = %v", got)
+	}
+	if got := Clamp(1, 0, 3); got != 1 {
+		t.Errorf("Clamp(1,0,3) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with inverted bounds should panic")
+		}
+	}()
+	Clamp(1, 3, 0)
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if Describe(nil).N != 0 {
+		t.Error("Describe(nil) should be zero")
+	}
+	if s.String() == "" {
+		t.Error("Summary.String should be non-empty")
+	}
+}
+
+func TestDescribeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Describe(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package taskgen
+
+import (
+	"math"
+	"testing"
+
+	"crowdrank/internal/graph"
+)
+
+// enumerateInstances visits every of the 3^l possible preference-graph
+// instances of a task graph (each edge independently oriented forward,
+// backward, or both ways — the paper's three permutations) and calls visit
+// with each instance.
+func enumerateInstances(t *testing.T, tg *graph.TaskGraph, visit func(*graph.PreferenceGraph)) {
+	t.Helper()
+	edges := tg.Edges()
+	l := len(edges)
+	total := 1
+	for i := 0; i < l; i++ {
+		total *= 3
+	}
+	for code := 0; code < total; code++ {
+		pg, err := graph.NewPreferenceGraph(tg.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := code
+		for _, e := range edges {
+			switch c % 3 {
+			case 0: // forward only
+				if err := pg.SetWeight(e.I, e.J, 1); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // backward only
+				if err := pg.SetWeight(e.J, e.I, 1); err != nil {
+					t.Fatal(err)
+				}
+			default: // both directions (inconsistent preferences)
+				if err := pg.SetWeight(e.I, e.J, 0.5); err != nil {
+					t.Fatal(err)
+				}
+				if err := pg.SetWeight(e.J, e.I, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c /= 3
+		}
+		visit(pg)
+	}
+}
+
+// TestEquation2InOutProbabilityExact verifies Prob(v^IO) = 2/3^d by exact
+// enumeration of all 3^l preference-graph instances, reproducing the
+// paper's Example 4.1 (a path graph gives 2/9 for the middle vertex and
+// 2/3 for the endpoints; a triangle gives 2/9 for all three).
+func TestEquation2InOutProbabilityExact(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func(t *testing.T) *graph.TaskGraph
+	}{
+		{"pathOf3", func(t *testing.T) *graph.TaskGraph {
+			g, err := graph.NewTaskGraph(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEdge(t, g, 0, 1)
+			mustEdge(t, g, 1, 2)
+			return g
+		}},
+		{"triangle", func(t *testing.T) *graph.TaskGraph {
+			g, err := graph.NewTaskGraph(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEdge(t, g, 0, 1)
+			mustEdge(t, g, 1, 2)
+			mustEdge(t, g, 2, 0)
+			return g
+		}},
+		{"star", func(t *testing.T) *graph.TaskGraph {
+			g, err := graph.NewTaskGraph(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEdge(t, g, 0, 1)
+			mustEdge(t, g, 0, 2)
+			mustEdge(t, g, 0, 3)
+			return g
+		}},
+		{"square", func(t *testing.T) *graph.TaskGraph {
+			g, err := graph.NewTaskGraph(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEdge(t, g, 0, 1)
+			mustEdge(t, g, 1, 2)
+			mustEdge(t, g, 2, 3)
+			mustEdge(t, g, 3, 0)
+			return g
+		}},
+	}
+	for _, tc := range builds {
+		t.Run(tc.name, func(t *testing.T) {
+			tg := tc.build(t)
+			n := tg.N()
+			counts := make([]int, n)
+			total := 0
+			enumerateInstances(t, tg, func(pg *graph.PreferenceGraph) {
+				total++
+				for v := 0; v < n; v++ {
+					if pg.IsInNode(v) || pg.IsOutNode(v) {
+						counts[v]++
+					}
+				}
+			})
+			for v := 0; v < n; v++ {
+				want := InOutProbability(tg.Degree(v))
+				got := float64(counts[v]) / float64(total)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("vertex %d (degree %d): measured %v, Equation 2 gives %v",
+						v, tg.Degree(v), got, want)
+				}
+			}
+		})
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.TaskGraph, i, j int) {
+	t.Helper()
+	if err := g.AddEdge(i, j); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem42NoHPInTaskGraphMeansNoHPInClosure verifies Theorem 4.2 by
+// enumeration: a disconnected task graph (which has no HP) never yields a
+// preference-graph closure with an HP.
+func TestTheorem42NoHPInTaskGraphMeansNoHPInClosure(t *testing.T) {
+	// Two components: {0,1} and {2,3}.
+	tg, err := graph.NewTaskGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, tg, 0, 1)
+	mustEdge(t, tg, 2, 3)
+	enumerateInstances(t, tg, func(pg *graph.PreferenceGraph) {
+		if pg.HasHamiltonianPathReachability() {
+			t.Fatal("disconnected task graph produced an HP in the closure")
+		}
+	})
+}
+
+// TestTheorem43TwoInNodesMeansNoHP verifies Theorem 4.3 by enumeration: any
+// instance whose closure has two or more in-nodes (or out-nodes) has no HP
+// in its reachability closure.
+func TestTheorem43TwoInNodesMeansNoHP(t *testing.T) {
+	tg, err := graph.NewTaskGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, tg, 0, 1)
+	mustEdge(t, tg, 1, 2)
+	mustEdge(t, tg, 2, 3)
+	mustEdge(t, tg, 3, 0)
+	checked := 0
+	enumerateInstances(t, tg, func(pg *graph.PreferenceGraph) {
+		inNodes, outNodes := pg.InOutNodes()
+		if len(inNodes) >= 2 || len(outNodes) >= 2 {
+			checked++
+			if pg.HasHamiltonianPathReachability() {
+				t.Fatalf("instance with %d in-nodes / %d out-nodes has an HP",
+					len(inNodes), len(outNodes))
+			}
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no instance exercised the theorem precondition")
+	}
+}
+
+// TestTheorem44BoundHolds verifies that the Theorem 4.4 lower bound Pr_l
+// never exceeds the exact enumerated probability that the closure has at
+// most one in-node and at most one out-node.
+func TestTheorem44BoundHolds(t *testing.T) {
+	// A 5-cycle: 3^5 = 243 instances, degree 2 everywhere.
+	tg, err := graph.NewTaskGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustEdge(t, tg, i, (i+1)%5)
+	}
+	good, total := 0, 0
+	enumerateInstances(t, tg, func(pg *graph.PreferenceGraph) {
+		total++
+		inNodes, outNodes := pg.InOutNodes()
+		if len(inNodes) <= 1 && len(outNodes) <= 1 {
+			good++
+		}
+	})
+	exact := float64(good) / float64(total)
+	dmin, dmax := tg.MinMaxDegree()
+	bound, err := HPLikelihoodLowerBound(tg.N(), dmin, dmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound > exact+1e-12 {
+		t.Errorf("Theorem 4.4 bound %v exceeds exact probability %v", bound, exact)
+	}
+	if bound <= 0 {
+		t.Errorf("bound should be positive for a 2-regular graph, got %v", bound)
+	}
+}
+
+// TestSeededHPGuaranteesTaskGraphHP verifies the necessary condition from
+// Theorem 4.2 constructively: every generated plan's task graph contains a
+// Hamiltonian path (the seed path).
+func TestSeededHPGuaranteesTaskGraphHP(t *testing.T) {
+	for _, n := range []int{5, 17, 40} {
+		plan, err := Generate(n, MaxPairs(n)/3+n, newRNG(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Graph.IsHamiltonianPath(plan.SeedPath) {
+			t.Fatalf("n=%d: seed path is not an HP of the task graph", n)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package truth implements Step 1 of result inference (Section V-A): joint
+// truth discovery over the crowd's pairwise preferences. It iterates two
+// coupled updates until convergence:
+//
+//   - the true preference of each task is the quality-weighted average of
+//     the workers' votes (Equation 4), and
+//   - each worker's quality is proportional to a chi-square percentile
+//     divided by the worker's total squared deviation from the estimated
+//     truths (Equation 5, the CRH weight of Li et al.).
+//
+// The output direct preferences x̂_ij become the edge weights of the
+// preference graph G_P, and the worker qualities feed Step 2's smoothing.
+package truth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/graph"
+	"crowdrank/internal/stat"
+)
+
+// Params tunes the iterative truth-discovery loop. The zero value is not
+// usable; call DefaultParams and adjust.
+type Params struct {
+	// Alpha is the chi-square confidence-interval parameter of Equation 5;
+	// the percentile used is alpha/2. The paper does not fix a value; 0.05
+	// (a 95% interval) is the convention of the cited CRH work.
+	Alpha float64
+	// MaxIterations caps the loop. The paper observes convergence within
+	// ~10 iterations on most inputs.
+	MaxIterations int
+	// Tolerance declares convergence when both the preferences and the
+	// qualities change by less than this amount (L-infinity) between
+	// consecutive iterations.
+	Tolerance float64
+	// QualityFloor keeps worker qualities strictly positive so that the
+	// weighted average (Equation 4) stays defined and smoothing's
+	// sigma_k = -log(q_k) stays finite.
+	QualityFloor float64
+}
+
+// DefaultParams returns the parameter set used throughout the paper's
+// experiments reproduction.
+func DefaultParams() Params {
+	return Params{
+		Alpha:         0.05,
+		MaxIterations: 20,
+		Tolerance:     1e-6,
+		QualityFloor:  1e-4,
+	}
+}
+
+func (p Params) validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("truth: alpha %v outside (0,1)", p.Alpha)
+	}
+	if p.MaxIterations < 1 {
+		return fmt.Errorf("truth: MaxIterations must be >= 1, got %d", p.MaxIterations)
+	}
+	if p.Tolerance < 0 {
+		return fmt.Errorf("truth: negative tolerance %v", p.Tolerance)
+	}
+	if p.QualityFloor <= 0 || p.QualityFloor >= 1 {
+		return fmt.Errorf("truth: QualityFloor %v outside (0,1)", p.QualityFloor)
+	}
+	return nil
+}
+
+// Result holds the discovered truths and worker qualities.
+type Result struct {
+	// Preference maps each canonical pair (I < J) to x̂_IJ, the estimated
+	// probability that O_I ≺ O_J.
+	Preference map[graph.Pair]float64
+	// Weight holds each worker's CRH aggregation weight (Equation 5),
+	// normalized so the best worker has weight 1. These weights drive the
+	// weighted average of Equation 4; their *ratios* are meaningful but
+	// their absolute scale is not.
+	Weight []float64
+	// Quality holds each worker's estimated quality in (0, 1]: the
+	// complement of the worker's mean squared deviation from the discovered
+	// truths, q_k = 1 - sqErr_k/|T_k|. Unlike Weight it is bounded and
+	// calibrated (a worker agreeing with every truth has quality ~1), which
+	// is what Step 2's error model sigma_k = -log(q_k) requires — raw CRH
+	// weight ratios can span many orders of magnitude and would make the
+	// smoothing error explode. Workers who cast no votes have quality 0 and
+	// take no further part in inference.
+	Quality []float64
+	// TaskCounts holds |T_k|, the number of votes cast by each worker.
+	TaskCounts []int
+	// Iterations is the number of update rounds performed.
+	Iterations int
+	// Converged reports whether the tolerance criterion was met before
+	// MaxIterations.
+	Converged bool
+}
+
+// observation is a decoded vote: a pair index, the worker, and the paper's
+// 0/1 vote value with respect to the canonical pair orientation.
+type observation struct {
+	pair   int
+	worker int
+	value  float64
+}
+
+// Discover runs iterative truth discovery over the votes of m workers on n
+// objects. Every vote is validated; the vote set must be non-empty.
+func Discover(n, m int, votes []crowd.Vote, p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("truth: need at least two objects, got n=%d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("truth: need at least one worker, got m=%d", m)
+	}
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("truth: no votes to aggregate")
+	}
+	for idx, v := range votes {
+		if err := v.Validate(n, m); err != nil {
+			return nil, fmt.Errorf("truth: vote %d: %w", idx, err)
+		}
+	}
+
+	// Index votes once: per canonical pair, the (worker, value) list; per
+	// worker, the list of pair indices and values.
+	pairs := crowd.Pairs(votes)
+	pairIndex := make(map[graph.Pair]int, len(pairs))
+	for i, pr := range pairs {
+		pairIndex[pr] = i
+	}
+	observations := make([]observation, len(votes))
+	taskCounts := make([]int, m)
+	for i, v := range votes {
+		observations[i] = observation{pair: pairIndex[v.Pair()], worker: v.Worker, value: v.Value()}
+		taskCounts[v.Worker]++
+	}
+
+	// Chi-square percentiles are needed once per distinct task count.
+	chiByCount := make(map[int]float64)
+	for _, c := range taskCounts {
+		if c == 0 {
+			continue
+		}
+		if _, ok := chiByCount[c]; ok {
+			continue
+		}
+		q, err := stat.ChiSquareQuantile(p.Alpha/2, float64(c))
+		if err != nil {
+			return nil, fmt.Errorf("truth: chi-square percentile for df=%d: %w", c, err)
+		}
+		chiByCount[c] = q
+	}
+
+	weight := make([]float64, m)
+	for w := range weight {
+		if taskCounts[w] > 0 {
+			weight[w] = 1 // paper: start with equal quality
+		}
+	}
+	pref := make([]float64, len(pairs))
+	prevPref := make([]float64, len(pairs))
+	prevWeight := make([]float64, m)
+
+	iterations := 0
+	converged := false
+	for iterations < p.MaxIterations {
+		iterations++
+		copy(prevPref, pref)
+		copy(prevWeight, weight)
+
+		updatePreferences(observations, weight, pref)
+		updateWeights(observations, pref, taskCounts, chiByCount, weight, p.QualityFloor)
+
+		if iterations > 1 && maxDelta(pref, prevPref) < p.Tolerance && maxDelta(weight, prevWeight) < p.Tolerance {
+			converged = true
+			break
+		}
+	}
+
+	preference := make(map[graph.Pair]float64, len(pairs))
+	for i, pr := range pairs {
+		preference[pr] = pref[i]
+	}
+	return &Result{
+		Preference: preference,
+		Weight:     weight,
+		Quality:    boundedQualities(observations, pref, taskCounts, p.QualityFloor),
+		TaskCounts: taskCounts,
+		Iterations: iterations,
+		Converged:  converged,
+	}, nil
+}
+
+// boundedQualities derives the calibrated per-worker quality
+// q_k = 1 - sqErr_k/|T_k| in [floor, 1], the complement of the mean squared
+// deviation from the discovered truths.
+func boundedQualities(observations []observation, pref []float64, taskCounts []int, floor float64) []float64 {
+	quality := make([]float64, len(taskCounts))
+	sqErr := make([]float64, len(taskCounts))
+	for _, o := range observations {
+		d := o.value - pref[o.pair]
+		sqErr[o.worker] += d * d
+	}
+	for w := range quality {
+		if taskCounts[w] == 0 {
+			continue
+		}
+		q := 1 - sqErr[w]/float64(taskCounts[w])
+		if q < floor {
+			q = floor
+		}
+		if q > 1 {
+			q = 1
+		}
+		quality[w] = q
+	}
+	return quality
+}
+
+// updatePreferences applies Equation 4: the weight-averaged vote per pair.
+func updatePreferences(observations []observation, weight, pref []float64) {
+	num := make([]float64, len(pref))
+	den := make([]float64, len(pref))
+	for _, o := range observations {
+		q := weight[o.worker]
+		num[o.pair] += o.value * q
+		den[o.pair] += q
+	}
+	for i := range pref {
+		if den[i] > 0 {
+			pref[i] = num[i] / den[i]
+		} else {
+			pref[i] = 0.5 // no usable votes: maximal uncertainty
+		}
+	}
+}
+
+// updateWeights applies Equation 5: w_k ∝ χ²(α/2, |T_k|) / Σ (x^k - x̂)²,
+// then normalizes the weights so the best worker has weight 1. The squared
+// error is floored at a quarter of one full disagreement so a
+// perfectly-agreeing worker's weight stays finite without dwarfing everyone
+// else by orders of magnitude.
+func updateWeights(observations []observation, pref []float64, taskCounts []int, chiByCount map[int]float64, weight []float64, floor float64) {
+	sqErr := make([]float64, len(weight))
+	for _, o := range observations {
+		d := o.value - pref[o.pair]
+		sqErr[o.worker] += d * d
+	}
+	maxW := 0.0
+	for w := range weight {
+		if taskCounts[w] == 0 {
+			weight[w] = 0
+			continue
+		}
+		denom := math.Max(sqErr[w], 0.25)
+		weight[w] = chiByCount[taskCounts[w]] / denom
+		if weight[w] > maxW {
+			maxW = weight[w]
+		}
+	}
+	if maxW <= 0 {
+		// Degenerate: every active worker has zero chi-square mass. Reset
+		// to equal weight rather than dividing by zero.
+		for w := range weight {
+			if taskCounts[w] > 0 {
+				weight[w] = 1
+			}
+		}
+		return
+	}
+	for w := range weight {
+		if taskCounts[w] == 0 {
+			continue
+		}
+		weight[w] /= maxW
+		if weight[w] < floor {
+			weight[w] = floor
+		}
+	}
+}
+
+func maxDelta(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SuspectWorkers returns the workers whose estimated quality falls below
+// threshold (excluding workers who cast no votes), sorted by ascending
+// quality — the requester-side spam/adversary report. A threshold around
+// 0.75 flags coin-flippers and adversaries on typical workloads; see the
+// workerquality example.
+func (r *Result) SuspectWorkers(threshold float64) []int {
+	var suspects []int
+	for w, q := range r.Quality {
+		if r.TaskCounts[w] > 0 && q < threshold {
+			suspects = append(suspects, w)
+		}
+	}
+	sort.Slice(suspects, func(a, b int) bool {
+		return r.Quality[suspects[a]] < r.Quality[suspects[b]]
+	})
+	return suspects
+}
+
+// BuildPreferenceGraph converts discovered direct preferences into the
+// weighted directed preference graph G_P: for each canonical pair (i, j)
+// with preference x̂, edge i->j gets weight x̂ and edge j->i gets 1-x̂; a
+// weight of zero means no edge, per the paper's convention. Unanimous
+// preferences therefore produce the 1-edges that Step 2 smooths.
+func BuildPreferenceGraph(n int, preference map[graph.Pair]float64) (*graph.PreferenceGraph, error) {
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		return nil, fmt.Errorf("truth: %w", err)
+	}
+	// Insert in sorted pair order so the graph's adjacency lists (and thus
+	// every downstream float summation and randomness consumption order)
+	// are deterministic regardless of map iteration.
+	pairs := make([]graph.Pair, 0, len(preference))
+	for pr := range preference {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+	for _, pr := range pairs {
+		x := preference[pr]
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return nil, fmt.Errorf("truth: preference %v for pair %v outside [0,1]", x, pr)
+		}
+		if err := g.SetWeight(pr.I, pr.J, x); err != nil {
+			return nil, fmt.Errorf("truth: %w", err)
+		}
+		if err := g.SetWeight(pr.J, pr.I, 1-x); err != nil {
+			return nil, fmt.Errorf("truth: %w", err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,34 @@
+package crowdrank
+
+import "crowdrank/internal/kendall"
+
+// KendallTauDistance returns the normalized Kendall tau distance in [0, 1]
+// between two rankings (best-first permutations of the same objects): the
+// fraction of object pairs the rankings order differently.
+func KendallTauDistance(a, b []int) (float64, error) {
+	return kendall.Distance(a, b)
+}
+
+// Accuracy returns 1 - KendallTauDistance, the paper's accuracy measure
+// (Section VI-A5).
+func Accuracy(a, b []int) (float64, error) {
+	return kendall.Accuracy(a, b)
+}
+
+// KendallTau returns the Kendall tau rank-correlation coefficient in
+// [-1, 1]: +1 for identical rankings, 0 in expectation for independent
+// ones, -1 for exact reversal.
+func KendallTau(a, b []int) (float64, error) {
+	return kendall.Tau(a, b)
+}
+
+// SpearmanRho returns Spearman's rank correlation coefficient in [-1, 1].
+func SpearmanRho(a, b []int) (float64, error) {
+	return kendall.SpearmanRho(a, b)
+}
+
+// TopKOverlap returns the fraction of shared objects among the top k of the
+// two rankings, a quality measure for top-k use cases.
+func TopKOverlap(a, b []int, k int) (float64, error) {
+	return kendall.TopKOverlap(a, b, k)
+}

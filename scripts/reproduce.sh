@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce the full evaluation: build, test, benchmark, and regenerate
+# every table and figure at paper scale (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build and vet =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== quick-scale benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "== paper-scale experiments (minutes) =="
+go run ./cmd/experiments -exp all -scale paper -tsv results_tsv | tee experiments_paper.txt
+
+echo "== figures =="
+mkdir -p figures
+go run ./cmd/plot -in results_tsv/fig5.tsv -x n -y accuracy -series distribution -filter ratio=0.1 -out figures/fig5_r01.svg
+go run ./cmd/plot -in results_tsv/fig3.tsv -x n -y total -series distribution -title "Figure 3: inference time (ms) vs n" -out figures/fig3.svg
+go run ./cmd/plot -in results_tsv/fig6.tsv -x ratio -y accuracy -series method -filter quality=medium -out figures/fig6_medium.svg
+
+echo "done: test_output.txt, bench_output.txt, experiments_paper.txt, results_tsv/, figures/"

@@ -1,0 +1,232 @@
+package crowdrank
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateImageRanking(t *testing.T) {
+	cfg := DefaultImageStudyConfig(1)
+	round, err := SimulateImageRanking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round.N != 10 {
+		t.Errorf("N = %d", round.N)
+	}
+	wantVotes := 10 * 9 / 2 / 2 * cfg.WorkersPerComparison // r=0.5 of 45 pairs
+	if len(round.Votes) != (45/2+1)*cfg.WorkersPerComparison && len(round.Votes) != wantVotes {
+		// PairsForRatio rounds; accept either rounding of 22.5.
+		t.Errorf("votes = %d", len(round.Votes))
+	}
+	if round.Spent <= 0 {
+		t.Error("spend not accounted")
+	}
+	// Determinism under a fixed seed.
+	round2, err := SimulateImageRanking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Votes) != len(round2.Votes) {
+		t.Fatal("image study not deterministic")
+	}
+	for i := range round.Votes {
+		if round.Votes[i] != round2.Votes[i] {
+			t.Fatal("image study votes differ under same seed")
+		}
+	}
+}
+
+func TestSimulateImageRankingInferAgreement(t *testing.T) {
+	// The paper's AMT metric: SAPS agrees with the exact searcher.
+	cfg := DefaultImageStudyConfig(2)
+	round, err := SimulateImageRanking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saps, err := Infer(round.N, round.Workers, round.Votes,
+		WithSeed(3), WithSearch(SearchSAPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Infer(round.N, round.Workers, round.Votes,
+		WithSeed(3), WithSearch(SearchHeldKarp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreement, err := Accuracy(saps.Ranking, exact.Ranking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement < 0.9 {
+		t.Errorf("SAPS-vs-exact agreement = %v", agreement)
+	}
+}
+
+func TestSimulateImageRankingValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*ImageStudyConfig){
+		"images":  func(c *ImageStudyConfig) { c.Images = 1 },
+		"gap":     func(c *ImageStudyConfig) { c.MaxRankGap = 0 },
+		"workers": func(c *ImageStudyConfig) { c.WorkersPerComparison = 0 },
+		"reward":  func(c *ImageStudyConfig) { c.Reward = 0 },
+	} {
+		cfg := DefaultImageStudyConfig(4)
+		mutate(&cfg)
+		if _, err := SimulateImageRanking(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestRunInteractiveCrowdBT(t *testing.T) {
+	cfg := DefaultSimConfig(5)
+	budget := Budget{Total: 600, Reward: 1, WorkersPerTask: cfg.WorkersPerTask} // 60 rounds
+	res, err := RunInteractiveCrowdBT(20, budget, cfg, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 60 {
+		t.Errorf("rounds = %d, want 60", res.Rounds)
+	}
+	if res.SimulatedLatency != 60*time.Minute {
+		t.Errorf("latency = %v", res.SimulatedLatency)
+	}
+	if res.Spent != 600 {
+		t.Errorf("spent = %v", res.Spent)
+	}
+	if len(res.Ranking) != 20 || len(res.GroundTruth) != 20 {
+		t.Error("result shapes wrong")
+	}
+	if _, err := RunInteractiveCrowdBT(1, budget, cfg, 0); err == nil {
+		t.Error("n=1 should fail")
+	}
+	bad := cfg
+	bad.Distribution = 0
+	if _, err := RunInteractiveCrowdBT(20, budget, bad, 0); err == nil {
+		t.Error("invalid distribution should fail")
+	}
+}
+
+// ---- Failure injection across the public pipeline ----
+
+func TestInferSingleVotePair(t *testing.T) {
+	// Degenerate input: only one pair ever compared across 4 objects. The
+	// pipeline must still return a full permutation (with 0.5-weight
+	// fallbacks), never panic.
+	votes := []Vote{{Worker: 0, I: 0, J: 1, PrefersI: true}}
+	res, err := Infer(4, 1, votes, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 4 {
+		t.Fatalf("ranking = %v", res.Ranking)
+	}
+	seen := make([]bool, 4)
+	for _, v := range res.Ranking {
+		if v < 0 || v >= 4 || seen[v] {
+			t.Fatalf("not a permutation: %v", res.Ranking)
+		}
+		seen[v] = true
+	}
+	if res.UninformedPairs == 0 {
+		t.Error("expected uninformed pairs to be reported")
+	}
+}
+
+func TestInferUnanimousWrongEdge(t *testing.T) {
+	// Every worker inverts exactly one pair of an otherwise perfect vote
+	// set: the transitive evidence must overrule the unanimous wrong edge.
+	n := 8
+	var votes []Vote
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			prefers := true
+			if i == 2 && j == 3 {
+				prefers = false // unanimous lie: 3 before 2
+			}
+			for w := 0; w < 6; w++ {
+				votes = append(votes, Vote{Worker: w, I: i, J: j, PrefersI: prefers})
+			}
+		}
+	}
+	res, err := Infer(n, 6, votes, WithSeed(2), WithSearch(SearchHeldKarp), WithAlpha(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	acc, err := Accuracy(res.Ranking, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One corrupted pair out of 28: accuracy must stay near-perfect
+	// (at most the lied-about pair wrong).
+	if acc < 1-2.0/28 {
+		t.Errorf("accuracy = %v with a single unanimous wrong edge", acc)
+	}
+}
+
+func TestInferVotesOutsideUniverse(t *testing.T) {
+	votes := []Vote{{Worker: 0, I: 0, J: 9, PrefersI: true}}
+	if _, err := Infer(4, 1, votes, WithSeed(1)); err == nil {
+		t.Error("vote outside object universe should fail")
+	}
+	votes = []Vote{{Worker: 5, I: 0, J: 1, PrefersI: true}}
+	if _, err := Infer(4, 2, votes, WithSeed(1)); err == nil {
+		t.Error("vote from unknown worker should fail")
+	}
+}
+
+func TestPlanRejectsUnderconnectedBudget(t *testing.T) {
+	// l < n-1 cannot contain a Hamiltonian path (Theorem 4.2): planning
+	// must refuse rather than emit an unusable task set.
+	if _, err := PlanTasks(10, 5, 1); err == nil {
+		t.Error("budget below the spanning-path minimum should fail")
+	}
+}
+
+func TestInferManyDuplicateVotes(t *testing.T) {
+	// The same worker voting the same pair repeatedly (multiple HITs
+	// containing the pair) must be handled as repeated observations.
+	var votes []Vote
+	for rep := 0; rep < 50; rep++ {
+		votes = append(votes, Vote{Worker: 0, I: 0, J: 1, PrefersI: true})
+		votes = append(votes, Vote{Worker: 1, I: 1, J: 2, PrefersI: true})
+	}
+	res, err := Infer(3, 2, votes, WithSeed(3), WithSearch(SearchHeldKarp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if res.Ranking[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", res.Ranking, want)
+		}
+	}
+}
+
+func TestResultSuspectWorkers(t *testing.T) {
+	// Six honest workers plus two inverters over a dense vote set.
+	n := 12
+	var votes []Vote
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for w := 0; w < 8; w++ {
+				prefers := w < 6 // workers 6,7 always invert
+				votes = append(votes, Vote{Worker: w, I: i, J: j, PrefersI: prefers})
+			}
+		}
+	}
+	res, err := Infer(n, 9, votes, WithSeed(4)) // worker 8 idle
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects := res.SuspectWorkers(0.75)
+	if len(suspects) != 2 {
+		t.Fatalf("suspects = %v, want the two inverters", suspects)
+	}
+	for _, s := range suspects {
+		if s != 6 && s != 7 {
+			t.Errorf("unexpected suspect %d", s)
+		}
+	}
+}

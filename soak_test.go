@@ -1,0 +1,97 @@
+package crowdrank
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakLargeScale drives the full pipeline at the paper's maximum scale
+// (n = 1000, r = 0.1 — half a million votes) and asserts the paper-level
+// quality and the absence of pathological slowdowns. Skipped in -short
+// mode.
+func TestSoakLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n = 1000
+	plan, err := PlanTasksRatio(n, 0.1, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(2025)
+	round, err := SimulateVotes(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Votes) != plan.L*cfg.WorkersPerTask {
+		t.Fatalf("votes = %d", len(round.Votes))
+	}
+
+	start := time.Now()
+	res, err := Infer(plan.N, cfg.Workers, round.Votes,
+		WithSeed(2026), WithSearch(SearchSAPS), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	acc, err := Accuracy(res.Ranking, round.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 0.95 at n=1000, r=0.1. Allow slack for seed variation.
+	if acc < 0.93 {
+		t.Errorf("accuracy = %v, want >= 0.93 (paper reports 0.95)", acc)
+	}
+	// Generous wall-clock ceiling: the paper's C++ testbed needed ~2
+	// minutes; anything beyond that here indicates a regression.
+	if elapsed > 2*time.Minute {
+		t.Errorf("inference took %v", elapsed)
+	}
+	t.Logf("n=%d l=%d votes=%d accuracy=%.4f elapsed=%v (steps: %+v)",
+		n, plan.L, len(round.Votes), acc, elapsed, res.Timings)
+}
+
+// TestSoakRepeatedSeeds verifies accuracy stability across seeds at a
+// medium scale: the mean must stay high and no single seed may collapse.
+func TestSoakRepeatedSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n, runs = 100, 8
+	var sum, min float64 = 0, 1
+	for s := 0; s < runs; s++ {
+		plan, err := PlanTasksRatio(n, 0.1, uint64(s)*31+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultSimConfig(uint64(s)*37 + 2)
+		round, err := SimulateVotes(plan, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Infer(plan.N, cfg.Workers, round.Votes, WithSeed(uint64(s)*41+3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := Accuracy(res.Ranking, round.GroundTruth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += acc
+		if acc < min {
+			min = acc
+		}
+	}
+	mean := sum / runs
+	if mean < 0.88 {
+		t.Errorf("mean accuracy over %d seeds = %v", runs, mean)
+	}
+	if min < 0.82 {
+		t.Errorf("worst-seed accuracy = %v", min)
+	}
+	t.Logf("n=%d over %d seeds: mean=%.4f min=%.4f", n, runs, mean, min)
+}
