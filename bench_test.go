@@ -67,6 +67,10 @@ func BenchmarkWorkers(b *testing.B) { benchExperiment(b, bench.Workers) }
 // vs budget).
 func BenchmarkTopK(b *testing.B) { benchExperiment(b, bench.TopK) }
 
+// BenchmarkFaults regenerates the fault-injection sweep (dropout rate vs
+// delivery, coverage, and accuracy, with and without repair).
+func BenchmarkFaults(b *testing.B) { benchExperiment(b, bench.Faults) }
+
 // ---- Pipeline micro-benchmarks ----
 
 // BenchmarkPlanTasks measures task-graph generation (Algorithm 1).

@@ -11,7 +11,10 @@
 //
 // Files are JSON; see the PlanFile and VotesFile types for the schemas.
 // `infer` prints the inferred ranking and, when the votes file carries a
-// simulated ground truth, the Kendall accuracy against it.
+// simulated ground truth, the Kendall accuracy against it. Malformed votes
+// files (out-of-range ids, self-pairs) are rejected; pass -clean to drop
+// bad votes instead. `simulate -dropout/-spam/-dup` routes the round
+// through an unreliable marketplace and prints the collection report.
 package main
 
 import (
@@ -79,7 +82,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   crowdrank plan     -n <objects> (-ratio <r> | -l <tasks> | -budget <B> -reward <r> -per-task <w>) [-seed S] -out plan.json
-  crowdrank simulate -plan plan.json -workers <m> -per-task <w> [-dist gaussian|uniform] [-level high|medium|low] [-seed S] -out votes.json
+  crowdrank simulate -plan plan.json -workers <m> -per-task <w> [-dist gaussian|uniform] [-level high|medium|low] [-dropout P] [-spam P] [-dup P] [-seed S] -out votes.json
   crowdrank infer    -plan plan.json -votes votes.json [-seed S] [-search auto|saps|taps|heldkarp|bruteforce] [-alpha A] [-hops H]
   crowdrank dot      -plan plan.json [-out graph.dot]
   crowdrank calibrate -n <objects> -target <accuracy> [-pilots P] [-level high|medium|low] [-seed S]`)
@@ -152,6 +155,9 @@ func runSimulate(args []string) error {
 	level := fs.String("level", "medium", "worker quality level: high|medium|low")
 	seed := fs.Uint64("seed", 2, "random seed")
 	out := fs.String("out", "votes.json", "output file")
+	dropout := fs.Float64("dropout", 0, "probability a claimed HIT is never returned")
+	spam := fs.Float64("spam", 0, "probability a delivered vote is malformed garbage")
+	dup := fs.Float64("dup", 0, "probability a delivered vote is submitted twice")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,7 +196,24 @@ func runSimulate(args []string) error {
 		return fmt.Errorf("simulate: unknown level %q", *level)
 	}
 
-	round, err := crowdrank.SimulateVotes(plan, cfg)
+	fc := crowdrank.FaultConfig{
+		DropoutRate:   *dropout,
+		SpamRate:      *spam,
+		DuplicateRate: *dup,
+		Seed:          *seed ^ 0xfa11fa11,
+	}
+	var round *crowdrank.SimRound
+	if fc.Zero() {
+		round, err = crowdrank.SimulateVotes(plan, cfg)
+	} else {
+		// An unreliable marketplace: votes are collected through the
+		// fault-tolerant protocol and written raw, garbage included.
+		var report *crowdrank.CollectionReport
+		round, report, err = crowdrank.SimulateUnreliableVotes(plan, cfg, fc, crowdrank.DefaultCollectConfig())
+		if err == nil {
+			fmt.Println("collection:", report)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -250,6 +273,10 @@ func runInfer(args []string) error {
 		cleaned, report := crowdrank.CleanVotes(vf.Votes, pf.N, vf.Workers, true)
 		fmt.Println("cleaning:", report)
 		vf.Votes = cleaned
+	} else if err := crowdrank.ValidateVotes(pf.N, vf.Workers, vf.Votes); err != nil {
+		// Malformed input is rejected up front; -clean opts into dropping
+		// bad votes instead.
+		return fmt.Errorf("infer: %w (rerun with -clean to drop bad votes)", err)
 	}
 
 	var alg crowdrank.SearchAlgorithm
@@ -283,6 +310,10 @@ func runInfer(args []string) error {
 	elapsed := time.Since(start)
 
 	fmt.Printf("ranking (best first): %v\n", res.Ranking)
+	if res.Coverage.Degraded() {
+		fmt.Printf("warning: %d objects have no direct votes (mean coverage %.3f); their positions are propagation-only\n",
+			len(res.Coverage.UncoveredObjects), res.Coverage.MeanCoverage)
+	}
 	fmt.Printf("inference: %v total (truth %v, smooth %v, propagate %v, search %v)\n",
 		elapsed.Round(time.Millisecond),
 		res.Timings.TruthDiscovery.Round(time.Millisecond),

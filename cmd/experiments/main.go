@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments -exp fig3|fig4|fig5|fig6|table1|amt|conv|ablation|makespan|robustness|workers|topk|all [-scale quick|paper]
+//	experiments -exp fig3|fig4|fig5|fig6|table1|amt|conv|ablation|makespan|robustness|workers|topk|faults|all [-scale quick|paper]
 //
 // The paper scale uses the paper's sizes (n up to 1000) and can take
 // minutes; the quick scale shrinks every grid to run in seconds.
@@ -37,10 +37,11 @@ var experiments = map[string]func(io.Writer, bench.Scale) error{
 	"robustness": bench.Robustness,
 	"workers":    bench.Workers,
 	"topk":       bench.TopK,
+	"faults":     bench.Faults,
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3|fig4|fig5|fig6|table1|amt|conv|ablation|makespan|robustness|workers|topk|all")
+	exp := flag.String("exp", "all", "experiment id: fig3|fig4|fig5|fig6|table1|amt|conv|ablation|makespan|robustness|workers|topk|faults|all")
 	scaleFlag := flag.String("scale", "paper", "experiment scale: quick|paper")
 	tsvDir := flag.String("tsv", "", "also write each experiment's rows as <dir>/<exp>.tsv for plotting")
 	flag.Parse()

@@ -1,0 +1,194 @@
+package crowdrank
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// unreliableRound simulates the acceptance scenario: 20% HIT dropout plus
+// 5% malformed (spam) votes, fully seeded.
+func unreliableRound(t *testing.T, cc CollectConfig) (*Plan, *SimRound, *CollectionReport) {
+	t.Helper()
+	plan, err := PlanTasksRatio(20, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(2)
+	cfg.Workers = 15
+	cfg.WorkersPerTask = 5
+	fc := FaultConfig{DropoutRate: 0.2, SpamRate: 0.05, DuplicateRate: 0.02, Seed: 3}
+	round, report, err := SimulateUnreliableVotes(plan, cfg, fc, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, round, report
+}
+
+func TestSimulateUnreliableVotesLossAndRepair(t *testing.T) {
+	_, round, report := unreliableRound(t, DefaultCollectConfig())
+	if report.PlannedVotes == 0 {
+		t.Fatal("no planned votes")
+	}
+	if report.LostToDropout == 0 {
+		t.Error("20% dropout lost nothing")
+	}
+	if report.Repaired == 0 || report.Reposts == 0 {
+		t.Errorf("repair waves recovered nothing: %s", report)
+	}
+	if report.Malformed == 0 {
+		t.Error("5% spam produced no malformed votes")
+	}
+	if report.Delivered+report.Lost != report.PlannedVotes {
+		t.Errorf("delivery accounting mismatch: %s", report)
+	}
+	if report.ResidualCoverage <= 0 || report.ResidualCoverage > 1 {
+		t.Errorf("residual coverage %v outside (0,1]", report.ResidualCoverage)
+	}
+	if report.Makespan <= 0 {
+		t.Error("makespan should be positive")
+	}
+	if round.Spent != report.Spent+report.RepairSpent {
+		t.Errorf("round spent %v != base %v + repair %v", round.Spent, report.Spent, report.RepairSpent)
+	}
+	if len(round.GroundTruth) != 20 {
+		t.Errorf("ground truth has %d objects", len(round.GroundTruth))
+	}
+	if s := report.String(); s == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestSimulateUnreliableVotesDeterministic(t *testing.T) {
+	_, a, ra := unreliableRound(t, DefaultCollectConfig())
+	_, b, rb := unreliableRound(t, DefaultCollectConfig())
+	if len(a.Votes) != len(b.Votes) {
+		t.Fatalf("vote counts differ: %d vs %d", len(a.Votes), len(b.Votes))
+	}
+	for i := range a.Votes {
+		if a.Votes[i] != b.Votes[i] {
+			t.Fatalf("vote %d differs: %+v vs %+v", i, a.Votes[i], b.Votes[i])
+		}
+	}
+	if ra.String() != rb.String() {
+		t.Errorf("reports differ:\n%s\n%s", ra, rb)
+	}
+}
+
+// TestLenientInferSurvivesUnreliableRound is the acceptance scenario:
+// lenient Infer over the raw faulty votes returns a full ranking with
+// populated sanitization and coverage reports, no panic.
+func TestLenientInferSurvivesUnreliableRound(t *testing.T) {
+	plan, round, report := unreliableRound(t, DefaultCollectConfig())
+	res, err := Infer(plan.N, 15, round.Votes, WithSeed(7))
+	if err != nil {
+		t.Fatalf("lenient Infer failed on faulty votes: %v", err)
+	}
+	if len(res.Ranking) != plan.N {
+		t.Fatalf("ranking has %d of %d objects", len(res.Ranking), plan.N)
+	}
+	if res.Sanitization.Clean() {
+		t.Errorf("sanitization dropped nothing despite %d malformed votes: %s",
+			report.Malformed, res.Sanitization)
+	}
+	if res.Sanitization.Kept+res.Sanitization.Dropped() != res.Sanitization.Input {
+		t.Errorf("sanitize accounting mismatch: %s", res.Sanitization)
+	}
+	if len(res.Coverage.ObjectCoverage) != plan.N {
+		t.Errorf("coverage has %d objects", len(res.Coverage.ObjectCoverage))
+	}
+	if res.Coverage.MeanCoverage <= 0 {
+		t.Error("mean coverage should be positive with delivered votes")
+	}
+	// The inferred ranking should still beat a coin flip comfortably.
+	acc, err := Accuracy(res.Ranking, round.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Errorf("accuracy %.3f under 20%% loss; degradation too steep", acc)
+	}
+}
+
+// TestStrictInferRejectsUnreliableRound: strict mode names the first
+// offending vote as a typed *VoteError.
+func TestStrictInferRejectsUnreliableRound(t *testing.T) {
+	plan, round, _ := unreliableRound(t, DefaultCollectConfig())
+	_, err := Infer(plan.N, 15, round.Votes, WithSeed(7), WithStrictVotes())
+	if err == nil {
+		t.Fatal("strict mode accepted malformed votes")
+	}
+	var ve *VoteError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is %T, want *VoteError: %v", err, err)
+	}
+	if ve.Index < 0 || ve.Index >= len(round.Votes) {
+		t.Errorf("offending index %d outside input", ve.Index)
+	}
+	if ve.Vote != round.Votes[ve.Index] {
+		t.Errorf("reported vote %+v is not input[%d] = %+v", ve.Vote, ve.Index, round.Votes[ve.Index])
+	}
+	if ve.Reason == "" {
+		t.Error("empty reason")
+	}
+}
+
+func TestSimulateUnreliableVotesNoRepair(t *testing.T) {
+	_, _, report := unreliableRound(t, CollectConfig{Deadline: 30 * time.Minute})
+	if report.Reposts != 0 || report.Repaired != 0 || report.RepairSpent != 0 {
+		t.Errorf("repair disabled but report shows repair: %s", report)
+	}
+	if report.Lost == 0 {
+		t.Error("20% dropout with no repair should lose votes")
+	}
+}
+
+func TestSimulateUnreliableVotesZeroFaults(t *testing.T) {
+	plan, err := PlanTasksRatio(12, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(5)
+	cfg.Workers = 10
+	cfg.WorkersPerTask = 4
+	round, report, err := SimulateUnreliableVotes(plan, cfg, FaultConfig{}, DefaultCollectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !((FaultConfig{}).Zero()) {
+		t.Error("zero FaultConfig should report Zero")
+	}
+	if report.Delivered != report.PlannedVotes || report.Lost != 0 {
+		t.Errorf("fault-free round lost votes: %s", report)
+	}
+	if report.ResidualCoverage != 1 || len(report.UncoveredPairs) != 0 {
+		t.Errorf("fault-free round left pairs uncovered: %s", report)
+	}
+	if len(round.Votes) != report.PlannedVotes {
+		t.Errorf("votes %d != planned %d", len(round.Votes), report.PlannedVotes)
+	}
+}
+
+func TestSimulateUnreliableVotesValidation(t *testing.T) {
+	plan, err := PlanTasksRatio(10, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  SimConfig
+		fc   FaultConfig
+	}{
+		{"no workers", SimConfig{WorkersPerTask: 1, PairsPerHIT: 1, Distribution: GaussianWorkers, Level: MediumQualityWorkers}, FaultConfig{}},
+		{"per-task too large", SimConfig{Workers: 2, WorkersPerTask: 5, PairsPerHIT: 1, Distribution: GaussianWorkers, Level: MediumQualityWorkers}, FaultConfig{}},
+		{"bad rate", DefaultSimConfig(1), FaultConfig{DropoutRate: 1.5}},
+	}
+	for _, tc := range cases {
+		if _, _, err := SimulateUnreliableVotes(plan, tc.cfg, tc.fc, DefaultCollectConfig()); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, _, err := SimulateUnreliableVotes(nil, DefaultSimConfig(1), FaultConfig{}, DefaultCollectConfig()); err == nil {
+		t.Error("nil plan: expected error")
+	}
+}

@@ -2,6 +2,7 @@ package crowdrank
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -71,6 +72,56 @@ func FuzzKendallDistance(f *testing.F) {
 		}
 		if d != back {
 			t.Fatalf("distance not symmetric: %v vs %v", d, back)
+		}
+	})
+}
+
+// FuzzInferVotes feeds arbitrary vote slices into Infer: lenient mode must
+// never panic (it drops garbage and reports it), and strict mode must either
+// accept exactly what ValidateVotes accepts or fail with a *VoteError.
+func FuzzInferVotes(f *testing.F) {
+	f.Add(5, 3, []byte{0, 0, 1, 1, 1, 2, 3, 0})
+	f.Add(2, 1, []byte{})
+	f.Add(3, 2, []byte{255, 255, 255, 254, 7, 7, 7, 7})
+	f.Add(4, 2, []byte{0, 0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, n, m int, raw []byte) {
+		if n < 1 || n > 12 || m < 1 || m > 8 {
+			return
+		}
+		// Decode 4 bytes per vote: worker, i, j, prefers. Bytes are shifted
+		// so ids land both inside and outside the valid ranges (including
+		// negatives), exercising every sanitization branch.
+		var votes []Vote
+		for k := 0; k+3 < len(raw) && len(votes) < 200; k += 4 {
+			votes = append(votes, Vote{
+				Worker:   int(raw[k]) - 2,
+				I:        int(raw[k+1]) - 2,
+				J:        int(raw[k+2]) - 2,
+				PrefersI: raw[k+3]%2 == 0,
+			})
+		}
+
+		res, err := Infer(n, m, votes, WithSeed(1))
+		if err == nil {
+			if len(res.Ranking) != n {
+				t.Fatalf("ranking has %d of %d objects", len(res.Ranking), n)
+			}
+			if res.Sanitization.Kept+res.Sanitization.Dropped() != res.Sanitization.Input {
+				t.Fatalf("sanitize accounting mismatch: %+v", res.Sanitization)
+			}
+		}
+		// A graceful error (e.g. nothing survives sanitization) is fine;
+		// panics are not.
+
+		_, strictErr := Infer(n, m, votes, WithSeed(1), WithStrictVotes())
+		var ve *VoteError
+		if wantErr := ValidateVotes(n, m, votes); wantErr != nil {
+			// Bad input must surface as a typed *VoteError in strict mode.
+			if !errors.As(strictErr, &ve) {
+				t.Fatalf("strict Infer err %v disagrees with ValidateVotes err %v", strictErr, wantErr)
+			}
+		} else if errors.As(strictErr, &ve) {
+			t.Fatalf("strict Infer flagged vote %d but ValidateVotes accepted the input", ve.Index)
 		}
 	})
 }

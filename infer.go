@@ -1,6 +1,7 @@
 package crowdrank
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -62,18 +63,30 @@ func (s SearchAlgorithm) core() (core.Searcher, error) {
 
 // options carries the assembled inference configuration.
 type options struct {
-	core core.Options
-	seed uint64
-	err  error
+	core   core.Options
+	seed   uint64
+	strict bool
+	err    error
 }
 
 // Option customizes Infer.
 type Option func(*options)
 
 // WithSeed fixes the random seed used by smoothing and SAPS, making
-// inference reproducible. Without it a time-derived seed is used.
+// inference reproducible. Without it a time-derived seed is used; either
+// way the effective seed is recorded in Result.Seed so dependent calls
+// (CertifyRanking in particular) can reuse it.
 func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
+}
+
+// WithStrictVotes makes Infer reject malformed input instead of repairing
+// it: the first out-of-range object id, self-pair, out-of-range worker id,
+// or exact duplicate submission aborts inference with a *VoteError naming
+// the offending vote. Without this option Infer is lenient — it drops such
+// votes and reports what was removed in Result.Sanitization.
+func WithStrictVotes() Option {
+	return func(o *options) { o.strict = true }
 }
 
 // WithAlpha sets the direct/indirect blend weight of Step 3
@@ -195,6 +208,20 @@ type Result struct {
 	// UninformedPairs counts object pairs with no direct or transitive
 	// evidence (decided 50/50).
 	UninformedPairs int
+	// Seed is the effective random seed the pipeline ran with — the
+	// WithSeed value, or the time-derived seed drawn when none was given.
+	// Pass it to CertifyRanking (via WithSeed) so the certificate describes
+	// the same smoothed closure as this ranking.
+	Seed uint64
+	// Sanitization reports what lenient input sanitization dropped before
+	// inference; Sanitization.Clean() is true for well-formed input. Under
+	// WithStrictVotes inference instead fails on the first offense.
+	Sanitization SanitizeReport
+	// Coverage describes how completely the (sanitized) votes cover the
+	// object universe — the degradation report for rounds that lost HITs.
+	// Objects in Coverage.UncoveredObjects are placed by the uninformed
+	// 0.5 prior alone.
+	Coverage CoverageReport
 	// Timings breaks down inference time by step.
 	Timings StepTimings
 }
@@ -233,7 +260,20 @@ func (t StepTimings) Total() time.Duration {
 // Infer aggregates the crowd's votes into a full ranking of n objects using
 // the paper's four-step pipeline. m is the worker-pool size (worker ids in
 // votes must lie in [0, m)).
+//
+// Input handling is lenient by default: malformed votes (out-of-range ids,
+// self-pairs, exact duplicate submissions) are dropped and reported in
+// Result.Sanitization rather than corrupting the pipeline. WithStrictVotes
+// turns the first such vote into a *VoteError instead.
 func Infer(n, m int, votes []Vote, opts ...Option) (*Result, error) {
+	return InferContext(context.Background(), n, m, votes, opts...)
+}
+
+// InferContext is Infer with cancellation: ctx is checked between pipeline
+// steps and polled inside the long-running Step 4 searchers (SAPS and
+// branch-and-bound), so an expired deadline or an explicit cancel abandons
+// inference promptly with ctx's error.
+func InferContext(ctx context.Context, n, m int, votes []Vote, opts ...Option) (*Result, error) {
 	o := &options{core: core.DefaultOptions(), seed: uint64(time.Now().UnixNano())}
 	for _, opt := range opts {
 		opt(o)
@@ -241,13 +281,27 @@ func Infer(n, m int, votes []Vote, opts ...Option) (*Result, error) {
 	if o.err != nil {
 		return nil, o.err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var report SanitizeReport
+	if o.strict {
+		if err := ValidateVotes(n, m, votes); err != nil {
+			return nil, err
+		}
+		report = SanitizeReport{Input: len(votes), Kept: len(votes)}
+	} else {
+		votes, report = SanitizeVotes(n, m, votes)
+	}
+	coverage := MeasureCoverage(n, votes)
 
 	internalVotes := make([]crowd.Vote, len(votes))
 	for i, v := range votes {
 		internalVotes[i] = crowd.Vote{Worker: v.Worker, I: v.I, J: v.J, PrefersI: v.PrefersI}
 	}
 	rng := rand.New(rand.NewPCG(o.seed, o.seed^0xd1342543de82ef95))
-	res, err := core.Infer(n, m, internalVotes, o.core, rng)
+	res, err := core.InferContext(ctx, n, m, internalVotes, o.core, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +313,9 @@ func Infer(n, m int, votes []Vote, opts ...Option) (*Result, error) {
 		TruthConverged:  res.TruthConverged,
 		OneEdges:        res.OneEdges,
 		UninformedPairs: res.UninformedPairs,
+		Seed:            o.seed,
+		Sanitization:    report,
+		Coverage:        coverage,
 		Timings: StepTimings{
 			TruthDiscovery: res.Timings.TruthDiscovery,
 			Smoothing:      res.Timings.Smoothing,
@@ -309,11 +366,19 @@ type Certificate struct {
 	Gap        float64
 }
 
-// CertifyRanking recomputes the Step 1-3 closure from the votes (using the
-// given seed, which must match the one passed to Infer for the bound to
-// describe the same closure) and returns the optimality certificate of the
-// ranking under the all-pairs objective. On well-calibrated closures the
-// pipeline result's Gap is small relative to |Score|.
+// CertifyRanking recomputes the Step 1-3 closure from the votes and returns
+// the optimality certificate of the ranking under the all-pairs objective.
+// On well-calibrated closures the pipeline result's Gap is small relative
+// to |Score|.
+//
+// The closure depends on the random seed (Step 2's smoothing draws), so the
+// certificate describes the same closure as an earlier Infer only when both
+// calls use the same seed: pass WithSeed(result.Seed) — Result.Seed records
+// the effective seed even when Infer drew a time-derived one. An unseeded
+// CertifyRanking draws its own seed and certifies a *different* closure
+// than the ranking was inferred from. Votes are sanitized exactly as Infer
+// sanitizes them (lenient by default, strict under WithStrictVotes), again
+// so both calls see identical input.
 func CertifyRanking(n, m int, votes []Vote, ranking []int, opts ...Option) (*Certificate, error) {
 	o := &options{core: core.DefaultOptions(), seed: uint64(time.Now().UnixNano())}
 	for _, opt := range opts {
@@ -321,6 +386,13 @@ func CertifyRanking(n, m int, votes []Vote, ranking []int, opts ...Option) (*Cer
 	}
 	if o.err != nil {
 		return nil, o.err
+	}
+	if o.strict {
+		if err := ValidateVotes(n, m, votes); err != nil {
+			return nil, err
+		}
+	} else {
+		votes, _ = SanitizeVotes(n, m, votes)
 	}
 	rng := rand.New(rand.NewPCG(o.seed, o.seed^0xd1342543de82ef95))
 	cl, err := core.BuildClosure(n, m, toInternalVotes(votes), o.core, rng)

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -132,8 +133,19 @@ type Result struct {
 // on n objects. rng drives smoothing draws and SAPS; a fixed source yields
 // a reproducible result.
 func Infer(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result, error) {
+	return InferContext(context.Background(), n, m, votes, opts, rng)
+}
+
+// InferContext is Infer with cancellation: ctx is checked between pipeline
+// steps and polled inside the long-running Step 4 searchers (SAPS and
+// branch-and-bound), so an expired deadline or an explicit cancel abandons
+// inference promptly with ctx's error.
+func InferContext(ctx context.Context, n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil random source")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Step 1: truth discovery.
@@ -152,6 +164,9 @@ func Infer(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result,
 		TruthConverged:  discovered.Converged,
 	}
 	res.Timings.TruthDiscovery = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 2: preference smoothing.
 	start = time.Now()
@@ -166,6 +181,9 @@ func Infer(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result,
 	}
 	res.OneEdges = smoothStats.OneEdges
 	res.Timings.Smoothing = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 3: preference propagation into the normalized closure.
 	start = time.Now()
@@ -175,6 +193,9 @@ func Infer(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result,
 	}
 	res.UninformedPairs = propStats.UninformedPairs
 	res.Timings.Propagation = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 4: best-ranking search.
 	start = time.Now()
@@ -191,7 +212,7 @@ func Infer(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result,
 	case SearcherSAPS:
 		sapsParams := opts.SAPS
 		sapsParams.Objective = opts.Objective
-		sr, err = search.SAPS(closure, sapsParams, rng)
+		sr, err = search.SAPSContext(ctx, closure, sapsParams, rng)
 	case SearcherTAPS:
 		var tr *search.TAPSResult
 		tr, err = search.TAPS(closure, search.TAPSParams{Objective: opts.Objective})
@@ -206,11 +227,14 @@ func Infer(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*Result,
 		if opts.Objective != search.ObjectiveAllPairs {
 			return nil, fmt.Errorf("core: branch-and-bound supports only the all-pairs objective")
 		}
-		sr, err = search.BranchAndBound(closure, search.BranchAndBoundParams{})
+		sr, err = search.BranchAndBoundContext(ctx, closure, search.BranchAndBoundParams{})
 	default:
 		return nil, fmt.Errorf("core: unknown searcher %d", int(searcher))
 	}
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr // cancellation, not a search failure
+		}
 		return nil, fmt.Errorf("core: step 4 (%v search): %w", searcher, err)
 	}
 	if opts.PolishSweeps > 0 {

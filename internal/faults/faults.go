@@ -1,0 +1,227 @@
+// Package faults is a deterministic, seedable fault injector for the
+// simulated crowdsourcing marketplace. The paper's Section II setting
+// assumes every planned comparison comes back answered and well-formed;
+// real marketplaces lose HITs to worker dropout, stragglers, partial
+// submissions, double submissions, and garbage answers. This package
+// models those failure modes so the collection and inference layers can be
+// exercised — and quantified — under realistic loss.
+//
+// Every decision is a pure function of (Profile.Seed, hit, worker,
+// attempt): injecting the same profile into the same round always produces
+// the same faults, regardless of the order decisions are queried in. That
+// makes fault experiments reproducible and lets the discrete-event
+// marketplace (internal/des) and the one-shot platform compose with the
+// injector freely.
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"crowdrank/internal/crowd"
+)
+
+// Profile sets the per-assignment fault probabilities. All rates are
+// independent probabilities in [0, 1]; the zero value injects nothing.
+type Profile struct {
+	// Dropout is the probability a (HIT, worker) assignment is claimed but
+	// never returned — the worker abandons it silently.
+	Dropout float64
+	// Straggler is the probability an assignment takes StragglerFactor
+	// times its normal service time. Under a collection deadline a
+	// straggled answer usually arrives too late to count.
+	Straggler float64
+	// StragglerFactor multiplies the straggler's service time; values <= 1
+	// mean the default of 8.
+	StragglerFactor float64
+	// Partial is the probability a multi-comparison HIT comes back with
+	// only a prefix of its answers (the worker quit mid-HIT). HITs with a
+	// single comparison cannot be partial.
+	Partial float64
+	// Duplicate is the probability a delivered answer is submitted twice
+	// (double-click resubmissions).
+	Duplicate float64
+	// Malformed is the probability a delivered answer is garbage: an
+	// out-of-range object id, a self-pair i==j, or an out-of-range worker
+	// id, the shapes vote sanitization must survive.
+	Malformed float64
+	// Seed drives every fault decision; a fixed seed reproduces the exact
+	// fault pattern.
+	Seed uint64
+}
+
+// Validate checks that every rate is a probability.
+func (p Profile) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"Dropout", p.Dropout},
+		{"Straggler", p.Straggler},
+		{"Partial", p.Partial},
+		{"Duplicate", p.Duplicate},
+		{"Malformed", p.Malformed},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the profile injects no faults at all.
+func (p Profile) Zero() bool {
+	return p.Dropout == 0 && p.Straggler == 0 && p.Partial == 0 &&
+		p.Duplicate == 0 && p.Malformed == 0
+}
+
+// stragglerFactor returns the effective service-time multiplier.
+func (p Profile) stragglerFactor() float64 {
+	if p.StragglerFactor <= 1 {
+		return 8
+	}
+	return p.StragglerFactor
+}
+
+// Outcome classifies what happens to one (HIT, worker) assignment.
+type Outcome int
+
+const (
+	// Delivered: the assignment returns normally (possibly partially).
+	Delivered Outcome = iota
+	// Dropped: claimed but never returned.
+	Dropped
+	// Straggled: returned, but after StragglerFactor times the normal
+	// service time.
+	Straggled
+)
+
+// String names the outcome for logs and reports.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Straggled:
+		return "straggled"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Injector makes deterministic fault decisions for one simulated round over
+// n objects and m workers.
+type Injector struct {
+	profile Profile
+	n, m    int
+}
+
+// NewInjector validates the profile and binds it to the round's object and
+// worker universes (used to fabricate out-of-range ids for malformed votes).
+func NewInjector(p Profile, n, m int) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("faults: need at least one object, got n=%d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("faults: need at least one worker, got m=%d", m)
+	}
+	return &Injector{profile: p, n: n, m: m}, nil
+}
+
+// Profile returns the injector's fault profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// StragglerFactor returns the effective straggler service-time multiplier.
+func (in *Injector) StragglerFactor() float64 { return in.profile.stragglerFactor() }
+
+// splitmix64 is the standard 64-bit finalizer used to derive independent
+// streams from a packed decision key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stream derives the decision RNG for (kind, hit, worker, attempt). Each
+// decision gets its own stream, so query order never changes outcomes.
+func (in *Injector) stream(kind uint64, hit, worker, attempt int) *rand.Rand {
+	key := splitmix64(in.profile.Seed ^ kind*0xd1342543de82ef95)
+	key = splitmix64(key ^ uint64(hit)*0xa0761d6478bd642f)
+	key = splitmix64(key ^ uint64(worker)*0xe7037ed1a0b428db)
+	key = splitmix64(key ^ uint64(attempt)*0x8ebc6af09c88c6e3)
+	return rand.New(rand.NewPCG(key, splitmix64(key)))
+}
+
+const (
+	kindOutcome uint64 = iota + 1
+	kindPartial
+	kindMangle
+)
+
+// Outcome decides whether the attempt-th posting of HIT hit to worker
+// returns normally, never, or late.
+func (in *Injector) Outcome(hit, worker, attempt int) Outcome {
+	if in.profile.Dropout == 0 && in.profile.Straggler == 0 {
+		return Delivered
+	}
+	r := in.stream(kindOutcome, hit, worker, attempt)
+	u := r.Float64()
+	if u < in.profile.Dropout {
+		return Dropped
+	}
+	if u < in.profile.Dropout+in.profile.Straggler {
+		return Straggled
+	}
+	return Delivered
+}
+
+// KeptPairs decides how many of the HIT's pairs comparisons actually come
+// back: all of them normally, or a strict non-empty prefix when the partial
+// fault fires. Single-comparison HITs always return whole.
+func (in *Injector) KeptPairs(hit, worker, attempt, pairs int) int {
+	if pairs <= 1 || in.profile.Partial == 0 {
+		return pairs
+	}
+	r := in.stream(kindPartial, hit, worker, attempt)
+	if r.Float64() >= in.profile.Partial {
+		return pairs
+	}
+	return 1 + r.IntN(pairs-1)
+}
+
+// Mangle applies the delivered-but-garbage faults to one answered vote: it
+// may corrupt the vote into a malformed shape (out-of-range object id,
+// self-pair, out-of-range worker id) and may duplicate the submission. k
+// distinguishes the comparisons within one assignment. The returned slice
+// has one or two votes; corrupted counts as 1 when the vote was mangled.
+func (in *Injector) Mangle(hit, worker, attempt, k int, v crowd.Vote) (out []crowd.Vote, corrupted, duplicated bool) {
+	if in.profile.Malformed == 0 && in.profile.Duplicate == 0 {
+		return []crowd.Vote{v}, false, false
+	}
+	r := in.stream(kindMangle, hit, worker, attempt*1_000_003+k)
+	if in.profile.Malformed > 0 && r.Float64() < in.profile.Malformed {
+		corrupted = true
+		switch r.IntN(4) {
+		case 0: // object id beyond the universe
+			v.I = in.n + r.IntN(in.n+1)
+		case 1: // negative object id
+			v.J = -1 - r.IntN(3)
+		case 2: // self-pair
+			v.J = v.I
+		default: // worker id beyond the pool
+			v.Worker = in.m + r.IntN(in.m+1)
+		}
+	}
+	out = []crowd.Vote{v}
+	if in.profile.Duplicate > 0 && r.Float64() < in.profile.Duplicate {
+		duplicated = true
+		out = append(out, v)
+	}
+	return out, corrupted, duplicated
+}

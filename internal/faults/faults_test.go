@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"testing"
+
+	"crowdrank/internal/crowd"
+)
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{Dropout: 0.2, Straggler: 0.1, Partial: 0.3, Duplicate: 0.05, Malformed: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []Profile{
+		{Dropout: -0.1},
+		{Straggler: 1.5},
+		{Partial: 2},
+		{Duplicate: -1},
+		{Malformed: 1.01},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should be rejected: %+v", i, p)
+		}
+	}
+	if !(Profile{}).Zero() {
+		t.Error("zero profile should report Zero")
+	}
+	if good.Zero() {
+		t.Error("non-zero profile should not report Zero")
+	}
+}
+
+func TestNewInjectorValidation(t *testing.T) {
+	if _, err := NewInjector(Profile{Dropout: 2}, 10, 5); err == nil {
+		t.Error("invalid rate should be rejected")
+	}
+	if _, err := NewInjector(Profile{}, 0, 5); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+	if _, err := NewInjector(Profile{}, 10, 0); err == nil {
+		t.Error("m=0 should be rejected")
+	}
+}
+
+// TestDeterminism checks that every decision is a pure function of the
+// (seed, hit, worker, attempt) key, independent of query order.
+func TestDeterminism(t *testing.T) {
+	p := Profile{Dropout: 0.3, Straggler: 0.2, Partial: 0.4, Duplicate: 0.1, Malformed: 0.1, Seed: 42}
+	a, err := NewInjector(p, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(p, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := crowd.Vote{Worker: 3, I: 1, J: 2, PrefersI: true}
+	// Query b in reverse order; outcomes must still match a's.
+	type decision struct {
+		out   Outcome
+		kept  int
+		votes int
+	}
+	var fromA []decision
+	for hit := 0; hit < 50; hit++ {
+		for worker := 0; worker < 10; worker++ {
+			mangled, _, _ := a.Mangle(hit, worker, 0, 0, v)
+			fromA = append(fromA, decision{
+				out:   a.Outcome(hit, worker, 0),
+				kept:  a.KeptPairs(hit, worker, 0, 5),
+				votes: len(mangled),
+			})
+		}
+	}
+	idx := len(fromA)
+	for hit := 49; hit >= 0; hit-- {
+		for worker := 9; worker >= 0; worker-- {
+			idx--
+			want := fromA[idx]
+			i := hit*10 + worker
+			if i != idx { // fromA is in forward order
+				t.Fatalf("index math wrong: %d vs %d", i, idx)
+			}
+			mangled, _, _ := b.Mangle(hit, worker, 0, 0, v)
+			got := decision{
+				out:   b.Outcome(hit, worker, 0),
+				kept:  b.KeptPairs(hit, worker, 0, 5),
+				votes: len(mangled),
+			}
+			if got != want {
+				t.Fatalf("decision (%d,%d) differs across query order: %+v vs %+v", hit, worker, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroProfileIsIdentity(t *testing.T) {
+	in, err := NewInjector(Profile{Seed: 7}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := crowd.Vote{Worker: 1, I: 2, J: 3, PrefersI: false}
+	for hit := 0; hit < 100; hit++ {
+		if out := in.Outcome(hit, hit%5, 0); out != Delivered {
+			t.Fatalf("zero profile dropped hit %d: %v", hit, out)
+		}
+		if kept := in.KeptPairs(hit, hit%5, 0, 4); kept != 4 {
+			t.Fatalf("zero profile truncated hit %d to %d pairs", hit, kept)
+		}
+		mangled, corrupted, duplicated := in.Mangle(hit, hit%5, 0, 0, v)
+		if corrupted || duplicated || len(mangled) != 1 || mangled[0] != v {
+			t.Fatalf("zero profile mangled vote: %+v", mangled)
+		}
+	}
+}
+
+// TestRatesApproximatelyHonored draws many decisions and checks empirical
+// frequencies against the configured rates.
+func TestRatesApproximatelyHonored(t *testing.T) {
+	p := Profile{Dropout: 0.2, Straggler: 0.1, Partial: 0.3, Duplicate: 0.15, Malformed: 0.25, Seed: 99}
+	in, err := NewInjector(p, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	var dropped, straggled, partial, dup, bad int
+	v := crowd.Vote{Worker: 5, I: 10, J: 11, PrefersI: true}
+	for i := 0; i < trials; i++ {
+		switch in.Outcome(i, i%20, 0) {
+		case Dropped:
+			dropped++
+		case Straggled:
+			straggled++
+		}
+		if in.KeptPairs(i, i%20, 0, 6) < 6 {
+			partial++
+		}
+		mangled, corrupted, duplicated := in.Mangle(i, i%20, 0, 0, v)
+		if corrupted {
+			bad++
+			// Corrupted votes must actually fail validation.
+			if err := mangled[0].Validate(50, 20); err == nil {
+				t.Fatalf("corrupted vote %+v still validates", mangled[0])
+			}
+		}
+		if duplicated {
+			dup++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		f := float64(got) / trials
+		if f < want-0.02 || f > want+0.02 {
+			t.Errorf("%s rate %.3f, want ~%.3f", name, f, want)
+		}
+	}
+	check("dropout", dropped, p.Dropout)
+	check("straggler", straggled, p.Straggler)
+	check("partial", partial, p.Partial)
+	check("duplicate", dup, p.Duplicate)
+	check("malformed", bad, p.Malformed)
+}
+
+func TestKeptPairsBounds(t *testing.T) {
+	in, err := NewInjector(Profile{Partial: 1, Seed: 3}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hit := 0; hit < 200; hit++ {
+		kept := in.KeptPairs(hit, 0, 0, 5)
+		if kept < 1 || kept >= 5 {
+			t.Fatalf("partial keep %d outside [1,4]", kept)
+		}
+	}
+	// Single-pair HITs cannot be partial.
+	if kept := in.KeptPairs(0, 0, 0, 1); kept != 1 {
+		t.Fatalf("single-pair HIT truncated to %d", kept)
+	}
+}
+
+func TestOutcomeStringer(t *testing.T) {
+	for _, tc := range []struct {
+		o    Outcome
+		want string
+	}{
+		{Delivered, "delivered"}, {Dropped, "dropped"}, {Straggled, "straggled"}, {Outcome(9), "Outcome(9)"},
+	} {
+		if got := tc.o.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.o), got, tc.want)
+		}
+	}
+}

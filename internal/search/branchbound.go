@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,9 +33,20 @@ type BranchAndBoundParams struct {
 // Only ObjectiveAllPairs is supported: the consecutive objective lacks a
 // comparably tight prefix bound (use HeldKarp for it).
 func BranchAndBound(g *graph.PreferenceGraph, p BranchAndBoundParams) (*Result, error) {
+	return BranchAndBoundContext(context.Background(), g, p)
+}
+
+// BranchAndBoundContext is BranchAndBound with cancellation: the DFS polls
+// ctx every 1024 expanded nodes and abandons the search with ctx's error as
+// soon as it is cancelled or its deadline passes. An already-cancelled
+// context returns promptly without searching.
+func BranchAndBoundContext(ctx context.Context, g *graph.PreferenceGraph, p BranchAndBoundParams) (*Result, error) {
 	maxNodes := p.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 5_000_000
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	logw, err := logWeights(g)
 	if err != nil {
@@ -91,6 +103,11 @@ func BranchAndBound(g *graph.PreferenceGraph, p BranchAndBoundParams) (*Result, 
 		nodes++
 		if nodes > maxNodes {
 			return fmt.Errorf("search: BranchAndBound exceeded %d nodes; instance too hard, use SAPS", maxNodes)
+		}
+		if nodes&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		if len(prefix) == n {
 			if score > bestScore {

@@ -1,0 +1,100 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSAPSContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := randomTournament(t, 20, newRNG(1))
+	start := time.Now()
+	_, err := SAPSContext(ctx, g, DefaultSAPSParams(), newRNG(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled SAPS took %v", elapsed)
+	}
+}
+
+func TestSAPSContextCancelMidRun(t *testing.T) {
+	// A deadline that expires mid-anneal must stop the run; the per-iteration
+	// poll means even a huge iteration budget returns quickly.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	g := randomTournament(t, 40, newRNG(3))
+	p := DefaultSAPSParams()
+	p.Iterations = 50_000_000
+	p.Cooling = 0.999999
+	start := time.Now()
+	_, err := SAPSContext(ctx, g, p, newRNG(4))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("mid-run cancellation took %v", elapsed)
+	}
+}
+
+func TestSAPSContextBackgroundMatchesPlain(t *testing.T) {
+	g := randomTournament(t, 12, newRNG(5))
+	a, err := SAPS(g, DefaultSAPSParams(), newRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SAPSContext(context.Background(), randomTournament(t, 12, newRNG(5)), DefaultSAPSParams(), newRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogProb != b.LogProb {
+		t.Errorf("context wrapper changed result: %v vs %v", a.LogProb, b.LogProb)
+	}
+}
+
+func TestBranchAndBoundContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := randomTournament(t, 15, newRNG(7))
+	_, err := BranchAndBoundContext(ctx, g, BranchAndBoundParams{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBranchAndBoundContextCancelMidRun(t *testing.T) {
+	// Random tournaments prune poorly, so n = 22 gives the node-poll a
+	// chance to fire well before the search finishes.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	g := randomTournament(t, 22, newRNG(8))
+	start := time.Now()
+	_, err := BranchAndBoundContext(ctx, g, BranchAndBoundParams{MaxNodes: 500_000_000})
+	if err == nil {
+		t.Skip("instance solved before the deadline; nothing to cancel")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("mid-run cancellation took %v", elapsed)
+	}
+}
+
+func TestBranchAndBoundContextBackgroundMatchesPlain(t *testing.T) {
+	g := orderedTournament(t, 10, 0.8)
+	a, err := BranchAndBound(g, BranchAndBoundParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BranchAndBoundContext(context.Background(), orderedTournament(t, 10, 0.8), BranchAndBoundParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogProb != b.LogProb {
+		t.Errorf("context wrapper changed result: %v vs %v", a.LogProb, b.LogProb)
+	}
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -111,11 +112,22 @@ type sapsState struct {
 // exp(-delta/T), cooling T by the factor c each iteration. The best path
 // over all starts (by the configured objective) is returned.
 func SAPS(g *graph.PreferenceGraph, p SAPSParams, rng *rand.Rand) (*Result, error) {
+	return SAPSContext(context.Background(), g, p, rng)
+}
+
+// SAPSContext is SAPS with cancellation: the annealing loops poll ctx and
+// abandon the search with ctx's error as soon as it is cancelled or its
+// deadline passes. An already-cancelled context returns promptly without
+// annealing.
+func SAPSContext(ctx context.Context, g *graph.PreferenceGraph, p SAPSParams, rng *rand.Rand) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("search: nil random source")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	logw, err := logWeights(g)
 	if err != nil {
@@ -174,6 +186,9 @@ func SAPS(g *graph.PreferenceGraph, p SAPSParams, rng *rand.Rand) (*Result, erro
 		bestCost := st.cost
 		temp := p.Temperature
 		for iter := 0; iter < p.Iterations; iter++ {
+			if ctx.Err() != nil {
+				break // cancelled; the aggregate below returns ctx's error
+			}
 			st.proposeRotate(local, temp)
 			st.proposeReverse(local, temp)
 			st.proposeSwap(local, temp)
@@ -211,6 +226,10 @@ func SAPS(g *graph.PreferenceGraph, p SAPSParams, rng *rand.Rand) (*Result, erro
 		}
 		close(next)
 		wg.Wait()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var bestPath []int

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Full local gate: vet, build, and race-enabled tests for every package.
+# CI and pre-commit both run exactly this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== all checks passed =="
