@@ -1,0 +1,191 @@
+// Command crowdlint runs the repository's domain-specific static analyzer
+// (internal/lint) over the module: seeded-randomness discipline, float
+// comparison hygiene, context cancellation contracts, panic-free exported
+// library code, and discarded-error detection. It needs nothing beyond the
+// Go standard library.
+//
+// Usage:
+//
+//	crowdlint [-json] [-tags taglist] [-checks list] [packages]
+//
+// Packages are directories relative to the current module; the pattern
+// "./..." (the default) lints every package. The exit status is 0 when the
+// tree is clean, 1 when findings were reported, and 2 when the tree could
+// not be loaded.
+//
+// Findings can be suppressed with a `//lint:ignore <check> <reason>`
+// comment on, or directly above, the offending line; a directive without a
+// reason string is ignored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crowdrank/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crowdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	tags := fs.String("tags", "", "comma-separated build tags honored when selecting files (e.g. crowdrank_invariants)")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all of "+strings.Join(lint.AllChecks, ", ")+")")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := lint.Config{}
+	if *tags != "" {
+		cfg.BuildTags = splitList(*tags)
+	}
+	if *checks != "" {
+		cfg.Checks = splitList(*checks)
+		for _, c := range cfg.Checks {
+			if !knownCheck(c) {
+				fmt.Fprintf(stderr, "crowdlint: unknown check %q (have %s)\n", c, strings.Join(lint.AllChecks, ", "))
+				return 2
+			}
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "crowdlint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lintPatterns(root, patterns, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "crowdlint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "crowdlint: encoding findings: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "crowdlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// lintPatterns resolves the CLI package patterns: "dir/..." recurses, a
+// plain directory lints that one package.
+func lintPatterns(root string, patterns []string, cfg lint.Config) ([]lint.Finding, error) {
+	var dirs []string
+	recurseAll := false
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			recurseAll = true
+			continue
+		}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			sub, err := subDirsWithGo(filepath.Join(root, filepath.FromSlash(rest)))
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, filepath.Join(root, filepath.FromSlash(p)))
+	}
+	if recurseAll {
+		return lint.Module(root, cfg)
+	}
+	return lint.Dirs(root, dirs, cfg)
+}
+
+// subDirsWithGo lists every directory under base containing Go files.
+func subDirsWithGo(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func knownCheck(name string) bool {
+	for _, c := range lint.AllChecks {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdrank/internal/lint"
+)
+
+// writeFixtureModule creates a throwaway module with one dirty package and
+// chdirs into it for the duration of the test.
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "p")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package p
+
+func Same(a, b float64) bool { return a == b }
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(root)
+	return root
+}
+
+func TestRunTextOutput(t *testing.T) {
+	writeFixtureModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dirty tree must exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "floatcmp") || !strings.Contains(out, filepath.Join("p", "a.go")+":3:") {
+		t.Fatalf("text output missing finding: %q", out)
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Fatalf("stderr missing summary: %q", stderr.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	writeFixtureModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dirty tree must exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Check != "floatcmp" || findings[0].Line != 3 {
+		t.Fatalf("unexpected JSON findings: %+v", findings)
+	}
+}
+
+func TestRunJSONCleanTreeEmitsEmptyArray(t *testing.T) {
+	writeFixtureModule(t)
+	var stdout, stderr bytes.Buffer
+	// Restrict to a check the fixture does not violate.
+	code := run([]string{"-json", "-checks", "globalrand", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("clean run must exit 0, got %d (stderr: %s)", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean -json run must print [], got %q", got)
+	}
+}
+
+func TestRunChecksFlagRejectsUnknown(t *testing.T) {
+	writeFixtureModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuchcheck", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check must exit 2, got %d", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuchcheck") {
+		t.Fatalf("stderr should name the unknown check: %q", stderr.String())
+	}
+}
+
+func TestRunSinglePackagePattern(t *testing.T) {
+	writeFixtureModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"p"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("explicit package dir must exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "floatcmp") {
+		t.Fatalf("missing finding for explicit dir: %q", stdout.String())
+	}
+}

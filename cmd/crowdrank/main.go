@@ -404,7 +404,7 @@ func runDOT(args []string) error {
 	if err != nil {
 		return fmt.Errorf("creating %s: %w", *out, err)
 	}
-	defer f.Close()
+	defer closeQuietly(f)
 	if err := plan.WriteDOT(f); err != nil {
 		return err
 	}
@@ -436,7 +436,7 @@ func writeVotesCSVFile(path string, votes []crowdrank.Vote) error {
 	if err != nil {
 		return fmt.Errorf("creating %s: %w", path, err)
 	}
-	defer f.Close()
+	defer closeQuietly(f)
 	if err := crowdrank.WriteVotesCSV(f, votes); err != nil {
 		return err
 	}
@@ -450,7 +450,7 @@ func readVotesCSVFile(path string) ([]crowdrank.Vote, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("opening %s: %w", path, err)
 	}
-	defer f.Close()
+	defer closeQuietly(f)
 	votes, err := crowdrank.ReadVotesCSV(f)
 	if err != nil {
 		return nil, 0, err
@@ -485,3 +485,9 @@ func readJSON(path string, v any) error {
 	}
 	return nil
 }
+
+// closeQuietly closes f ignoring the error: used only as a deferred
+// double-close safety net after the success path has already checked an
+// explicit Close, or on read-only files where a close error carries no
+// information.
+func closeQuietly(f *os.File) { _ = f.Close() }

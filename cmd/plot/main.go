@@ -147,7 +147,7 @@ rows:
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer closeQuietly(f)
 	if err := chart.WriteSVG(f); err != nil {
 		return err
 	}
@@ -165,7 +165,7 @@ func readTSV(path string) (header []string, comment string, rows [][]string, err
 	if err != nil {
 		return nil, "", nil, err
 	}
-	defer f.Close()
+	defer closeQuietly(f)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimRight(sc.Text(), "\r\n")
@@ -213,3 +213,9 @@ func parseNumeric(s string) (float64, error) {
 	}
 	return 0, fmt.Errorf("not numeric (float, Nx, or duration)")
 }
+
+// closeQuietly closes f ignoring the error: used only as a deferred
+// double-close safety net after the success path has already checked an
+// explicit Close, or on read-only files where a close error carries no
+// information.
+func closeQuietly(f *os.File) { _ = f.Close() }

@@ -7,6 +7,7 @@ import (
 
 	"crowdrank/internal/des"
 	"crowdrank/internal/faults"
+	"crowdrank/internal/feq"
 	"crowdrank/internal/graph"
 	"crowdrank/internal/platform"
 	"crowdrank/internal/simulate"
@@ -42,8 +43,8 @@ type FaultConfig struct {
 
 // Zero reports whether no faults are injected at all.
 func (f FaultConfig) Zero() bool {
-	return f.DropoutRate == 0 && f.StragglerRate == 0 && f.PartialRate == 0 &&
-		f.DuplicateRate == 0 && f.SpamRate == 0
+	return feq.Zero(f.DropoutRate) && feq.Zero(f.StragglerRate) && feq.Zero(f.PartialRate) &&
+		feq.Zero(f.DuplicateRate) && feq.Zero(f.SpamRate)
 }
 
 func (f FaultConfig) profile() faults.Profile {

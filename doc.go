@@ -26,6 +26,15 @@
 // and best-ranking search (simulated annealing, or one of the exact
 // searchers for small instances).
 //
+// # Determinism
+//
+// Inference is deterministic in its seed: WithSeed fixes the smoothing and
+// search randomness, and the effective seed — whether given or drawn from
+// the clock — is recorded in Result.Seed. Dependent calls that must see the
+// same closure, CertifyRanking in particular, should pass
+// WithSeed(result.Seed) so they certify the ranking that was actually
+// produced rather than a fresh random reconstruction.
+//
 // The package also exposes the paper's evaluation apparatus: simulated
 // crowds with Gaussian/Uniform quality distributions, a synthetic
 // PubFig-style image study, the RC / QS / CrowdBT baselines, and Kendall

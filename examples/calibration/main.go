@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"crowdrank"
+	"crowdrank/internal/feq"
 )
 
 func main() {
@@ -36,7 +37,7 @@ func main() {
 	fmt.Printf("%-10s %-10s %s\n", "ratio", "tasks", "pilot accuracy")
 	for _, p := range res.Curve {
 		marker := ""
-		if p.Ratio == res.Ratio {
+		if feq.Eq(p.Ratio, res.Ratio) {
 			marker = "  <- selected"
 		}
 		fmt.Printf("%-10.4f %-10d %.4f%s\n", p.Ratio, p.Tasks, p.Accuracy, marker)

@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"crowdrank"
+	"crowdrank/internal/feq"
 )
 
 func main() {
@@ -37,7 +38,10 @@ func study(images int, ratio float64) {
 	}
 
 	// Infer twice over the same votes: the scalable heuristic (SAPS) and an
-	// exact searcher (Held-Karp subset DP, exact up to 20 images).
+	// exact searcher (Held-Karp subset DP, exact up to 20 images). Both use
+	// the same explicit seed so Steps 1-3 build the identical closure and
+	// only the searcher differs; with a clock-drawn seed you would forward
+	// saps.Seed (recorded in Result.Seed) to the second call instead.
 	saps, err := crowdrank.Infer(round.N, round.Workers, round.Votes,
 		crowdrank.WithSeed(7), crowdrank.WithSearch(crowdrank.SearchSAPS))
 	if err != nil {
@@ -55,7 +59,7 @@ func study(images int, ratio float64) {
 	}
 	fmt.Printf("%2d images, ratio %.2f: spent $%6.2f on %5d votes; SAPS-vs-exact agreement %.4f\n",
 		images, ratio, round.Spent, len(round.Votes), agreement)
-	if agreement == 1 {
+	if feq.One(agreement) {
 		fmt.Printf("    SAPS returned exactly the exact searcher's ranking: %v\n", saps.Ranking)
 	}
 }

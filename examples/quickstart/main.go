@@ -68,4 +68,16 @@ func main() {
 	fmt.Printf("ranking accuracy: %.4f (Kendall tau %.4f) using only %.0f%% of all comparisons\n",
 		accuracy, tau, ratio*100)
 	fmt.Printf("top 10 objects: %v\n", result.Ranking[:10])
+
+	// 5. Certify the ranking without ground truth. Result.Seed records the
+	//    effective seed of the Infer call, so passing it back via WithSeed
+	//    makes CertifyRanking rebuild the identical closure and the
+	//    certificate describes the ranking that was actually produced.
+	cert, err := crowdrank.CertifyRanking(plan.N, cfg.Workers, round.Votes,
+		result.Ranking, crowdrank.WithSeed(result.Seed))
+	if err != nil {
+		log.Fatalf("certifying: %v", err)
+	}
+	fmt.Printf("certificate: score %.1f of upper bound %.1f (gap %.4f)\n",
+		cert.Score, cert.UpperBound, cert.Gap)
 }

@@ -3,8 +3,12 @@ package crowdrank
 import (
 	"bytes"
 	"errors"
+	"math/rand/v2"
 	"strings"
 	"testing"
+
+	"crowdrank/internal/core"
+	"crowdrank/internal/invariant"
 )
 
 // FuzzReadVotesCSV checks that arbitrary input never panics the CSV parser
@@ -103,8 +107,8 @@ func FuzzInferVotes(f *testing.F) {
 
 		res, err := Infer(n, m, votes, WithSeed(1))
 		if err == nil {
-			if len(res.Ranking) != n {
-				t.Fatalf("ranking has %d of %d objects", len(res.Ranking), n)
+			if oracleErr := invariant.VerifyRanking(n, res.Ranking); oracleErr != nil {
+				t.Fatalf("invariant oracle rejected the ranking: %v", oracleErr)
 			}
 			if res.Sanitization.Kept+res.Sanitization.Dropped() != res.Sanitization.Input {
 				t.Fatalf("sanitize accounting mismatch: %+v", res.Sanitization)
@@ -122,6 +126,55 @@ func FuzzInferVotes(f *testing.F) {
 			}
 		} else if errors.As(strictErr, &ve) {
 			t.Fatalf("strict Infer flagged vote %d but ValidateVotes accepted the input", ve.Index)
+		}
+	})
+}
+
+// FuzzPipelineInvariants runs the full Steps 1-3 pipeline on arbitrary
+// sanitized vote sets and holds the output against the invariant oracle:
+// whenever BuildClosure succeeds, the closure must be a complete normalized
+// tournament (Theorem 5.1's precondition), and whenever Infer succeeds on
+// the same votes, the ranking must be a permutation. Structural corruption
+// anywhere in truth discovery, smoothing, or propagation surfaces here
+// instead of as a silently wrong ranking.
+func FuzzPipelineInvariants(f *testing.F) {
+	f.Add(5, 3, []byte{0, 0, 1, 1, 1, 2, 3, 0, 2, 0, 2, 1})
+	f.Add(3, 2, []byte{0, 0, 1, 0, 1, 1, 2, 1, 0, 0, 2, 0})
+	f.Add(4, 2, []byte{0, 0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 1})
+	f.Add(2, 1, []byte{0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, n, m int, raw []byte) {
+		if n < 2 || n > 10 || m < 1 || m > 6 {
+			return
+		}
+		var votes []Vote
+		for k := 0; k+3 < len(raw) && len(votes) < 120; k += 4 {
+			votes = append(votes, Vote{
+				Worker:   int(raw[k]) - 2,
+				I:        int(raw[k+1]) - 2,
+				J:        int(raw[k+2]) - 2,
+				PrefersI: raw[k+3]%2 == 0,
+			})
+		}
+		clean, _ := SanitizeVotes(n, m, votes)
+		if len(clean) == 0 {
+			return
+		}
+
+		rng := rand.New(rand.NewPCG(1, 0xd1342543de82ef95))
+		cl, err := core.BuildClosure(n, m, toInternalVotes(clean), core.DefaultOptions(), rng)
+		if err != nil {
+			return // graceful rejection is fine; invariants apply to successes
+		}
+		if oracleErr := invariant.VerifyTournament(cl.Closure); oracleErr != nil {
+			t.Fatalf("closure violates the tournament invariant: %v", oracleErr)
+		}
+
+		res, err := Infer(n, m, clean, WithSeed(1))
+		if err != nil {
+			return
+		}
+		if oracleErr := invariant.VerifyRanking(n, res.Ranking); oracleErr != nil {
+			t.Fatalf("ranking violates the permutation invariant: %v", oracleErr)
 		}
 	})
 }

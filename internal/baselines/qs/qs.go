@@ -13,6 +13,7 @@ import (
 
 	"crowdrank/internal/baselines/mv"
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/feq"
 )
 
 // Rank aggregates the workers' pairwise preferences into a full ranking of
@@ -45,7 +46,7 @@ type condorcetSorter struct {
 // coin flip, as the Condorcet graph has no edge to follow).
 func (s *condorcetSorter) before(i, j int) bool {
 	p, compared := s.majority.Preference(i, j)
-	if !compared || p == 0.5 {
+	if !compared || feq.Eq(p, 0.5) {
 		return s.rng.IntN(2) == 0
 	}
 	return p > 0.5

@@ -14,6 +14,7 @@ import (
 
 	"crowdrank/internal/crowd"
 	"crowdrank/internal/graph"
+	"crowdrank/internal/invariant"
 	"crowdrank/internal/propagate"
 	"crowdrank/internal/search"
 	"crowdrank/internal/smooth"
@@ -244,6 +245,10 @@ func InferContext(ctx context.Context, n, m int, votes []crowd.Vote, opts Option
 		}
 		sr = polished
 	}
+	// Stage-boundary assertion (no-op unless built with
+	// -tags crowdrank_invariants): every searcher must return a
+	// permutation of the n objects.
+	invariant.CheckRanking(n, sr.Path)
 	res.SearcherUsed = searcher
 	res.Ranking = sr.Path
 	res.LogProb = sr.LogProb

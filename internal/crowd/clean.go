@@ -1,6 +1,10 @@
 package crowd
 
-import "fmt"
+import (
+	"fmt"
+
+	"crowdrank/internal/feq"
+)
 
 // CleanReport summarizes what Clean dropped.
 type CleanReport struct {
@@ -47,7 +51,7 @@ func Clean(votes []Vote, n, m int, dedupe bool) ([]Vote, CleanReport) {
 		}
 		if dedupe {
 			p := v.Pair()
-			key := submission{worker: v.Worker, pair: [2]int{p.I, p.J}, prefersI: v.Value() == 1}
+			key := submission{worker: v.Worker, pair: [2]int{p.I, p.J}, prefersI: feq.One(v.Value())}
 			if seen[key] {
 				report.DroppedDuplicates++
 				continue

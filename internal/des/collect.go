@@ -7,6 +7,7 @@ import (
 
 	"crowdrank/internal/crowd"
 	"crowdrank/internal/faults"
+	"crowdrank/internal/feq"
 	"crowdrank/internal/graph"
 	"crowdrank/internal/platform"
 )
@@ -46,7 +47,7 @@ func (p CollectParams) validate() error {
 }
 
 func (p CollectParams) reward() float64 {
-	if p.Reward == 0 {
+	if feq.Zero(p.Reward) {
 		return 1
 	}
 	return p.Reward

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/feq"
 	"crowdrank/internal/graph"
 	"crowdrank/internal/platform"
 )
@@ -101,7 +102,7 @@ func (m *Marketplace) Now() time.Duration { return m.clock }
 
 // serviceTime draws one lognormal-ish service duration.
 func (m *Marketplace) serviceTime() time.Duration {
-	if m.model.ServiceJitter == 0 {
+	if feq.Zero(m.model.ServiceJitter) {
 		return m.model.MeanService
 	}
 	// Lognormal with median MeanService and sigma = ServiceJitter.

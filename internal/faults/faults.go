@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/feq"
 )
 
 // Profile sets the per-assignment fault probabilities. All rates are
@@ -72,8 +73,8 @@ func (p Profile) Validate() error {
 
 // Zero reports whether the profile injects no faults at all.
 func (p Profile) Zero() bool {
-	return p.Dropout == 0 && p.Straggler == 0 && p.Partial == 0 &&
-		p.Duplicate == 0 && p.Malformed == 0
+	return feq.Zero(p.Dropout) && feq.Zero(p.Straggler) && feq.Zero(p.Partial) &&
+		feq.Zero(p.Duplicate) && feq.Zero(p.Malformed)
 }
 
 // stragglerFactor returns the effective service-time multiplier.
@@ -167,7 +168,7 @@ const (
 // Outcome decides whether the attempt-th posting of HIT hit to worker
 // returns normally, never, or late.
 func (in *Injector) Outcome(hit, worker, attempt int) Outcome {
-	if in.profile.Dropout == 0 && in.profile.Straggler == 0 {
+	if feq.Zero(in.profile.Dropout) && feq.Zero(in.profile.Straggler) {
 		return Delivered
 	}
 	r := in.stream(kindOutcome, hit, worker, attempt)
@@ -185,7 +186,7 @@ func (in *Injector) Outcome(hit, worker, attempt int) Outcome {
 // back: all of them normally, or a strict non-empty prefix when the partial
 // fault fires. Single-comparison HITs always return whole.
 func (in *Injector) KeptPairs(hit, worker, attempt, pairs int) int {
-	if pairs <= 1 || in.profile.Partial == 0 {
+	if pairs <= 1 || feq.Zero(in.profile.Partial) {
 		return pairs
 	}
 	r := in.stream(kindPartial, hit, worker, attempt)
@@ -201,7 +202,7 @@ func (in *Injector) KeptPairs(hit, worker, attempt, pairs int) int {
 // distinguishes the comparisons within one assignment. The returned slice
 // has one or two votes; corrupted counts as 1 when the vote was mangled.
 func (in *Injector) Mangle(hit, worker, attempt, k int, v crowd.Vote) (out []crowd.Vote, corrupted, duplicated bool) {
-	if in.profile.Malformed == 0 && in.profile.Duplicate == 0 {
+	if feq.Zero(in.profile.Malformed) && feq.Zero(in.profile.Duplicate) {
 		return []crowd.Vote{v}, false, false
 	}
 	r := in.stream(kindMangle, hit, worker, attempt*1_000_003+k)

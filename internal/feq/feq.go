@@ -1,0 +1,43 @@
+// Package feq centralizes floating-point comparisons. Raw == / != between
+// floats is banned by crowdlint (check "floatcmp") because the pipeline's
+// guarantees are stated with tolerances — w_ij + w_ji = 1 holds only to
+// rounding — and an exact comparison that happens to pass today silently
+// breaks when an optimization reorders the arithmetic. Every comparison the
+// codebase needs lives here instead, each documented as either
+// tolerance-based or a deliberate exact sentinel check, so the intent is
+// auditable in one place. crowdlint exempts this package.
+package feq
+
+import "math"
+
+// Tol is the default absolute tolerance, matching the invariant layer's
+// tournament-normalization tolerance (w_ij + w_ji = 1 ± Tol).
+const Tol = 1e-9
+
+// Eq reports whether a and b are equal within the default tolerance Tol.
+func Eq(a, b float64) bool {
+	return Close(a, b, Tol)
+}
+
+// Close reports whether |a - b| <= tol. NaNs are never close to anything;
+// equal infinities are (the exact-equality short-circuit avoids the
+// Inf - Inf = NaN trap).
+func Close(a, b, tol float64) bool {
+	return a == b || math.Abs(a-b) <= tol
+}
+
+// Zero reports whether x is exactly 0. Exact by design: the preference
+// graph uses 0 as the structural "edge absent" sentinel, which is assigned
+// (never computed), so a tolerance would misread tiny real weights as
+// missing edges.
+func Zero(x float64) bool {
+	return x == 0
+}
+
+// One reports whether x is exactly 1. Exact by design: weight-1 edges are
+// the unanimous "1-edges" of Section V-B, assigned exactly 1 by truth
+// discovery and eliminated by smoothing; a tolerance would smooth
+// legitimately near-unanimous edges twice.
+func One(x float64) bool {
+	return x == 1
+}

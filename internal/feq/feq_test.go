@@ -1,0 +1,53 @@
+package feq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqAndClose(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   float64
+		tol    float64
+		close_ bool
+	}{
+		{"identical", 0.5, 0.5, Tol, true},
+		{"within default tol", 1.0, 1.0 + 1e-10, Tol, true},
+		{"outside default tol", 1.0, 1.0 + 1e-8, Tol, false},
+		{"negative within", -0.25, -0.25 - 1e-12, Tol, true},
+		{"wide tolerance", 0.4, 0.6, 0.25, true},
+		{"nan left", math.NaN(), 0, Tol, false},
+		{"nan both", math.NaN(), math.NaN(), Tol, false},
+		{"inf vs inf", math.Inf(1), math.Inf(1), Tol, true},
+		{"inf vs finite", math.Inf(1), 1e300, Tol, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Close(tt.a, tt.b, tt.tol); got != tt.close_ {
+				t.Fatalf("Close(%v, %v, %v) = %v, want %v", tt.a, tt.b, tt.tol, got, tt.close_)
+			}
+		})
+	}
+	if !Eq(1, 1+1e-12) {
+		t.Fatal("Eq should accept a 1e-12 gap under the default tolerance")
+	}
+	if Eq(1, 1+1e-6) {
+		t.Fatal("Eq should reject a 1e-6 gap under the default tolerance")
+	}
+}
+
+func TestExactSentinels(t *testing.T) {
+	if !Zero(0) || Zero(1e-300) || Zero(math.Copysign(0, -1)) == false {
+		t.Fatal("Zero must match exactly 0 (either sign) and nothing else")
+	}
+	if !One(1) || One(1-1e-16) == true && 1-1e-16 != 1 {
+		t.Fatal("One must match exactly 1")
+	}
+	if One(0.9999999) || One(math.NaN()) {
+		t.Fatal("One matched a non-1 value")
+	}
+	if Zero(math.NaN()) {
+		t.Fatal("Zero matched NaN")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"crowdrank/internal/feq"
 )
 
 // PreferenceGraph is the weighted, directed preference graph G_P of Section
@@ -155,7 +157,7 @@ func (g *PreferenceGraph) OneEdges() []Pair {
 	var edges []Pair
 	for i := 0; i < g.n; i++ {
 		for _, j := range g.out[i] {
-			if g.w[i][j] == 1 {
+			if feq.One(g.w[i][j]) {
 				edges = append(edges, Pair{I: i, J: j})
 			}
 		}
@@ -222,6 +224,7 @@ func (g *PreferenceGraph) IsComplete() bool {
 func (g *PreferenceGraph) Clone() *PreferenceGraph {
 	c, err := NewPreferenceGraph(g.n)
 	if err != nil {
+		//lint:ignore panics cloning a graph that was itself constructed via NewPreferenceGraph cannot fail; an error here is memory corruption
 		panic("graph: clone of invalid graph: " + err.Error())
 	}
 	for i := 0; i < g.n; i++ {

@@ -1,0 +1,26 @@
+//go:build !crowdrank_invariants
+
+package invariant
+
+import "crowdrank/internal/graph"
+
+// Enabled reports whether the build carries the crowdrank_invariants tag
+// and the Check wrappers are live.
+const Enabled = false
+
+// The untagged Check wrappers have empty bodies: they inline to nothing, so
+// normal builds pay zero cost for the assertion hooks wired into the
+// pipeline stages. The Verify functions in verify.go remain available as
+// the explicit, error-returning oracle (tests and fuzz targets use them).
+
+// CheckTaskGraph is a no-op without the crowdrank_invariants build tag.
+func CheckTaskGraph(*graph.TaskGraph, int) {}
+
+// CheckSmoothed is a no-op without the crowdrank_invariants build tag.
+func CheckSmoothed(*graph.PreferenceGraph) {}
+
+// CheckTournament is a no-op without the crowdrank_invariants build tag.
+func CheckTournament(*graph.PreferenceGraph) {}
+
+// CheckRanking is a no-op without the crowdrank_invariants build tag.
+func CheckRanking(int, []int) {}

@@ -1,0 +1,31 @@
+//go:build !crowdrank_invariants
+
+package invariant_test
+
+import (
+	"testing"
+
+	"crowdrank/internal/invariant"
+)
+
+// Without the build tag the Check wrappers must compile to no-ops: Enabled is
+// false and even blatantly corrupt input passes through silently. The
+// explicit Verify functions remain the way to get an error (verify_test.go).
+
+func TestEnabledIsFalseWithoutTag(t *testing.T) {
+	if invariant.Enabled {
+		t.Fatal("invariant.Enabled = true in an untagged build")
+	}
+}
+
+func TestCheckWrappersAreNoOpsWithoutTag(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("untagged Check wrapper panicked: %v", r)
+		}
+	}()
+	invariant.CheckTaskGraph(nil, -1)
+	invariant.CheckSmoothed(nil)
+	invariant.CheckTournament(nil)
+	invariant.CheckRanking(2, []int{5, 5, 5})
+}

@@ -1,0 +1,31 @@
+//go:build crowdrank_invariants
+
+package invariant
+
+import "crowdrank/internal/graph"
+
+// Enabled reports whether the build carries the crowdrank_invariants tag
+// and the Check wrappers are live.
+const Enabled = true
+
+// CheckTaskGraph panics if the generated task graph violates the Section IV
+// assignment invariants.
+func CheckTaskGraph(g *graph.TaskGraph, l int) { must(VerifyTaskGraph(g, l)) }
+
+// CheckSmoothed panics if the smoothed preference graph violates the
+// Section V-B invariants.
+func CheckSmoothed(g *graph.PreferenceGraph) { must(VerifySmoothed(g)) }
+
+// CheckTournament panics if the propagated closure violates the Section V-C
+// tournament invariants.
+func CheckTournament(g *graph.PreferenceGraph) { must(VerifyTournament(g)) }
+
+// CheckRanking panics if the search result is not a permutation of the n
+// objects.
+func CheckRanking(n int, ranking []int) { must(VerifyRanking(n, ranking)) }
+
+func must(err error) {
+	if err != nil {
+		panic("crowdrank invariant violated: " + err.Error())
+	}
+}

@@ -1,0 +1,69 @@
+//go:build crowdrank_invariants
+
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"crowdrank/internal/invariant"
+)
+
+// With the crowdrank_invariants tag the Check wrappers are live: Enabled is
+// true and a violation panics with a message naming the offense.
+
+func TestEnabledIsTrueUnderTag(t *testing.T) {
+	if !invariant.Enabled {
+		t.Fatal("invariant.Enabled = false in a -tags crowdrank_invariants build")
+	}
+}
+
+func TestCheckRankingPanicsOnViolation(t *testing.T) {
+	msg := recoverMessage(t, func() {
+		invariant.CheckRanking(3, []int{0, 1, 1})
+	})
+	if !strings.Contains(msg, "crowdrank invariant violated") {
+		t.Fatalf("panic message %q missing the invariant prefix", msg)
+	}
+	if !strings.Contains(msg, "object 1 twice") {
+		t.Fatalf("panic message %q does not name the duplicated object", msg)
+	}
+}
+
+func TestCheckTaskGraphPanicsOnViolation(t *testing.T) {
+	msg := recoverMessage(t, func() {
+		invariant.CheckTaskGraph(nil, 0)
+	})
+	if !strings.Contains(msg, "nil task graph") {
+		t.Fatalf("panic message %q does not describe the violation", msg)
+	}
+}
+
+func TestCheckRankingAcceptsValidPermutation(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("CheckRanking panicked on a valid permutation: %v", r)
+		}
+	}()
+	invariant.CheckRanking(3, []int{2, 0, 1})
+}
+
+func recoverMessage(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("violation did not panic under -tags crowdrank_invariants")
+			}
+			var ok bool
+			msg, ok = r.(string)
+			if !ok {
+				t.Fatalf("panic value %v (%T) is not a string", r, r)
+			}
+		}()
+		f()
+	}()
+	return msg
+}

@@ -1,0 +1,169 @@
+// Package invariant is the runtime assertion layer for the paper's
+// structural guarantees. Each pipeline stage has a Verify function that
+// checks the property the downstream stages rely on and returns a
+// descriptive error naming the offending vertex or pair:
+//
+//   - VerifyTaskGraph — after task assignment (Section IV): the task graph
+//     is connected (Theorem 4.2's necessary condition), has exactly the
+//     budgeted number of edges, and is near-regular (Theorem 4.1/4.4: the
+//     ideal flat degree sequence is floor(2l/n) or floor(2l/n)+1, and the
+//     stub-pairing construction keeps every vertex within DegreeSlack of
+//     it).
+//   - VerifySmoothed — after preference smoothing (Section V-B): no
+//     1-edges survive, every compared pair carries positive weight in both
+//     directions, and — when the comparison support is connected — the
+//     smoothed graph is strongly connected (the Theorem 5.1 precondition).
+//   - VerifyTournament — after preference propagation (Section V-C): the
+//     closure is a complete pairwise-normalized tournament, w_ij in (0, 1)
+//     and w_ij + w_ji = 1 within Tol for every pair.
+//   - VerifyRanking — after best-ranking search (Section V-D): the result
+//     is a permutation of the n objects.
+//
+// The Verify functions are always compiled and are the oracle used by the
+// fuzz targets. The Check wrappers wired into the pipeline stages are
+// build-tag gated: under -tags crowdrank_invariants they panic on the first
+// violation; in normal builds they have empty bodies and compile to
+// nothing, so production inference pays zero cost.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"crowdrank/internal/graph"
+)
+
+// Tol is the absolute tolerance for the tournament normalization
+// w_ij + w_ji = 1. Propagation computes w_ji as 1 - w_ij, so violations
+// beyond rounding indicate corrupted state, not float noise.
+const Tol = 1e-9
+
+// DegreeSlack is how far a vertex degree may stray from the ideal flat
+// sequence {floor(2l/n), floor(2l/n)+1}. The generator builds a Hamiltonian
+// path first and then pairs degree stubs; conflict resolution can leave a
+// vertex one below or one above its flat target, which taskgen's own spread
+// tests document as the real guarantee.
+const DegreeSlack = 1
+
+// VerifyTaskGraph checks the Section IV assignment invariants: connectivity,
+// the exact edge budget l, and near-regular degrees — every vertex within
+// DegreeSlack of the ideal flat sequence floor(2l/n)..floor(2l/n)+1.
+func VerifyTaskGraph(g *graph.TaskGraph, l int) error {
+	if g == nil {
+		return fmt.Errorf("invariant: nil task graph")
+	}
+	if g.M() != l {
+		return fmt.Errorf("invariant: task graph has %d edges, budget is %d", g.M(), l)
+	}
+	if !g.Connected() {
+		return fmt.Errorf("invariant: task graph is disconnected; no full ranking can be inferred (Theorem 4.2)")
+	}
+	n := g.N()
+	base := 2 * l / n
+	lo, hi := base-DegreeSlack, base+1+DegreeSlack
+	if lo < 1 && n > 1 {
+		lo = 1 // a connected graph on n > 1 vertices has no isolated vertex
+	}
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d < lo || d > hi {
+			return fmt.Errorf("invariant: vertex %d has degree %d, outside the near-regular range [%d, %d] (Theorem 4.1)", v, d, lo, hi)
+		}
+	}
+	return nil
+}
+
+// VerifySmoothed checks the Section V-B smoothing invariants: every directed
+// edge has a positive-weight reverse (no unanswered reverse preferences
+// remain), no edge keeps weight exactly 1 (all 1-edges were relaxed), and
+// when the comparison support is connected the graph is strongly connected,
+// which is what Theorem 5.1 needs from this stage.
+func VerifySmoothed(g *graph.PreferenceGraph) error {
+	if g == nil {
+		return fmt.Errorf("invariant: nil preference graph")
+	}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for _, j := range g.Out(i) {
+			w := g.Weight(i, j)
+			if w >= 1 {
+				return fmt.Errorf("invariant: smoothed edge (%d,%d) kept weight %v; smoothing must relax every 1-edge below 1", i, j, w)
+			}
+			if g.Weight(j, i) <= 0 {
+				return fmt.Errorf("invariant: smoothed pair (%d,%d) is one-directional: w[%d][%d]=%v but w[%d][%d]=0", i, j, i, j, w, j, i)
+			}
+		}
+	}
+	if supportConnected(g) && !g.StronglyConnected() {
+		return fmt.Errorf("invariant: smoothed graph has connected comparison support but is not strongly connected (Theorem 5.1 precondition)")
+	}
+	return nil
+}
+
+// supportConnected reports whether the undirected comparison-support graph
+// (an edge wherever either direction carries positive weight) is connected.
+func supportConnected(g *graph.PreferenceGraph) bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, lists := range [2][]int{g.Out(v), g.In(v)} {
+			for _, u := range lists {
+				if !seen[u] {
+					seen[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return count == n
+}
+
+// VerifyTournament checks the Section V-C closure invariants: completeness
+// (every ordered pair carries positive weight, Theorem 5.1's Hamiltonicity
+// condition) and pairwise normalization w_ij + w_ji = 1 within Tol, with
+// both weights strictly inside (0, 1).
+func VerifyTournament(g *graph.PreferenceGraph) error {
+	if g == nil {
+		return fmt.Errorf("invariant: nil preference graph")
+	}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			wij, wji := g.Weight(i, j), g.Weight(j, i)
+			if wij <= 0 || wij >= 1 || wji <= 0 || wji >= 1 {
+				return fmt.Errorf("invariant: closure pair (%d,%d) has weights (%v, %v) outside (0,1); the tournament must be complete", i, j, wij, wji)
+			}
+			if sum := wij + wji; math.Abs(sum-1) > Tol {
+				return fmt.Errorf("invariant: closure pair (%d,%d) violates pairwise normalization: w_ij + w_ji = %v, |sum-1| = %.3g > %.0e", i, j, sum, math.Abs(sum-1), Tol)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyRanking checks the Section V-D search invariant: the ranking is a
+// permutation of the n objects (every object placed exactly once).
+func VerifyRanking(n int, ranking []int) error {
+	if len(ranking) != n {
+		return fmt.Errorf("invariant: ranking has %d entries for %d objects", len(ranking), n)
+	}
+	seen := make([]bool, n)
+	for pos, v := range ranking {
+		if v < 0 || v >= n {
+			return fmt.Errorf("invariant: ranking position %d holds out-of-range object %d (n=%d)", pos, v, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("invariant: ranking places object %d twice (second occurrence at position %d)", v, pos)
+		}
+		seen[v] = true
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"crowdrank/internal/graph"
+	"crowdrank/internal/invariant"
+)
+
+// cycleTaskGraph builds the n-cycle: connected, 2-regular, l = n edges.
+func cycleTaskGraph(t *testing.T, n int) *graph.TaskGraph {
+	t.Helper()
+	g, err := graph.NewTaskGraph(n)
+	if err != nil {
+		t.Fatalf("NewTaskGraph(%d): %v", n, err)
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+// completeTournament builds a valid normalized tournament on n objects.
+func completeTournament(t *testing.T, n int) *graph.PreferenceGraph {
+	t.Helper()
+	g, err := graph.NewPreferenceGraph(n)
+	if err != nil {
+		t.Fatalf("NewPreferenceGraph(%d): %v", n, err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.SetWeight(i, j, 0.6); err != nil {
+				t.Fatalf("SetWeight(%d,%d): %v", i, j, err)
+			}
+			if err := g.SetWeight(j, i, 0.4); err != nil {
+				t.Fatalf("SetWeight(%d,%d): %v", j, i, err)
+			}
+		}
+	}
+	return g
+}
+
+func TestVerifyTaskGraph(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(t *testing.T) (*graph.TaskGraph, int)
+		wantErr string // empty means the graph must verify
+	}{
+		{
+			name: "valid cycle",
+			build: func(t *testing.T) (*graph.TaskGraph, int) {
+				return cycleTaskGraph(t, 6), 6
+			},
+		},
+		{
+			name: "valid near-regular path",
+			build: func(t *testing.T) (*graph.TaskGraph, int) {
+				// Path 0-1-2-3: degrees [1,2,2,1], base = 1, overflow = 2.
+				g, err := graph.NewTaskGraph(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+					if err := g.AddEdge(e[0], e[1]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return g, 3
+			},
+		},
+		{
+			name: "nil graph",
+			build: func(t *testing.T) (*graph.TaskGraph, int) {
+				return nil, 0
+			},
+			wantErr: "nil task graph",
+		},
+		{
+			name: "wrong edge budget",
+			build: func(t *testing.T) (*graph.TaskGraph, int) {
+				return cycleTaskGraph(t, 6), 7
+			},
+			wantErr: "6 edges, budget is 7",
+		},
+		{
+			name: "disconnected two cycles",
+			build: func(t *testing.T) (*graph.TaskGraph, int) {
+				// Two disjoint triangles: every degree is 2 (regular!) but
+				// no ranking spanning both components can be inferred.
+				g, err := graph.NewTaskGraph(6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+					if err := g.AddEdge(e[0], e[1]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return g, 6
+			},
+			wantErr: "disconnected",
+		},
+		{
+			name: "irregular star",
+			build: func(t *testing.T) (*graph.TaskGraph, int) {
+				// Star on 6 vertices: center degree 5, leaves degree 1;
+				// base = 2*5/6 = 1, so degree 5 is far outside [1, 2].
+				g, err := graph.NewTaskGraph(6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := 1; v < 6; v++ {
+					if err := g.AddEdge(0, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return g, 5
+			},
+			wantErr: "vertex 0 has degree 5",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, l := tc.build(t)
+			err := invariant.VerifyTaskGraph(g, l)
+			checkVerdict(t, err, tc.wantErr)
+		})
+	}
+}
+
+func TestVerifySmoothed(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(t *testing.T) *graph.PreferenceGraph
+		wantErr string
+	}{
+		{
+			name: "valid bidirectional triangle",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				return completeTournament(t, 3)
+			},
+		},
+		{
+			name: "nil graph",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				return nil
+			},
+			wantErr: "nil preference graph",
+		},
+		{
+			name: "surviving 1-edge",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				g := completeTournament(t, 3)
+				if err := g.SetWeight(1, 2, 1); err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			wantErr: "edge (1,2) kept weight 1",
+		},
+		{
+			name: "one-directional pair",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				g := completeTournament(t, 3)
+				if err := g.SetWeight(2, 0, 0); err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			wantErr: "pair (0,2) is one-directional",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := invariant.VerifySmoothed(tc.build(t))
+			checkVerdict(t, err, tc.wantErr)
+		})
+	}
+}
+
+func TestVerifyTournament(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(t *testing.T) *graph.PreferenceGraph
+		wantErr string
+	}{
+		{
+			name: "valid tournament",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				return completeTournament(t, 4)
+			},
+		},
+		{
+			name: "nil graph",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				return nil
+			},
+			wantErr: "nil preference graph",
+		},
+		{
+			name: "missing pair breaks completeness",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				g := completeTournament(t, 4)
+				if err := g.SetWeight(1, 3, 0); err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			wantErr: "pair (1,3)",
+		},
+		{
+			name: "normalization broken w_ij + w_ji != 1",
+			build: func(t *testing.T) *graph.PreferenceGraph {
+				g := completeTournament(t, 4)
+				// 0.7 + 0.4 = 1.1: well past Tol.
+				if err := g.SetWeight(0, 2, 0.7); err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			wantErr: "pair (0,2) violates pairwise normalization",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := invariant.VerifyTournament(tc.build(t))
+			checkVerdict(t, err, tc.wantErr)
+		})
+	}
+}
+
+func TestVerifyRanking(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		ranking []int
+		wantErr string
+	}{
+		{name: "valid permutation", n: 4, ranking: []int{2, 0, 3, 1}},
+		{name: "empty valid", n: 0, ranking: nil},
+		{name: "too short", n: 4, ranking: []int{2, 0, 3}, wantErr: "3 entries for 4 objects"},
+		{name: "out of range", n: 4, ranking: []int{2, 0, 4, 1}, wantErr: "position 2 holds out-of-range object 4"},
+		{name: "negative object", n: 3, ranking: []int{0, -1, 2}, wantErr: "out-of-range object -1"},
+		{name: "duplicate object", n: 4, ranking: []int{2, 0, 3, 2}, wantErr: "object 2 twice (second occurrence at position 3)"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := invariant.VerifyRanking(tc.n, tc.ranking)
+			checkVerdict(t, err, tc.wantErr)
+		})
+	}
+}
+
+// checkVerdict asserts err matches want: nil when want is empty, otherwise an
+// error whose message contains want (so violations name the offending pair).
+func checkVerdict(t *testing.T, err error, want string) {
+	t.Helper()
+	if want == "" {
+		if err != nil {
+			t.Fatalf("unexpected violation: %v", err)
+		}
+		return
+	}
+	if err == nil {
+		t.Fatalf("violation not caught, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the offense, want substring %q", err, want)
+	}
+}

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyze runs every enabled check over one type-checked package and filters
+// the results through //lint:ignore suppressions.
+func analyze(pkg *pkgInfo, cfg Config) []Finding {
+	enabled := cfg.enabled()
+	a := &analysis{pkg: pkg, cfg: cfg}
+	if enabled["globalrand"] {
+		a.checkGlobalRand()
+	}
+	if enabled["floatcmp"] && !cfg.floatExempt()[pkg.importPath] {
+		a.checkFloatCmp()
+	}
+	if enabled["ctxloop"] {
+		a.checkCtxLoop()
+	}
+	if enabled["panics"] && pkg.pkg.Name() != "main" && !cfg.panicExempt()[pkg.importPath] {
+		a.checkPanics()
+	}
+	if enabled["errcheck"] {
+		a.checkErrcheck()
+	}
+	return suppress(pkg, a.findings)
+}
+
+type analysis struct {
+	pkg      *pkgInfo
+	cfg      Config
+	findings []Finding
+}
+
+func (a *analysis) report(pos token.Pos, check, format string, args ...any) {
+	p := a.pkg.fset.Position(pos)
+	a.findings = append(a.findings, Finding{
+		File:    p.Filename,
+		Line:    p.Line,
+		Col:     p.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- globalrand ------------------------------------------------------------
+
+// randConstructors are the math/rand functions that build explicit sources
+// rather than drawing from the package-global one; they are the only
+// package-level functions allowed outside tests.
+var randConstructors = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewSource": true, "NewZipf": true,
+}
+
+func (a *analysis) checkGlobalRand() {
+	for _, f := range a.pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := a.pkg.info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			obj := a.pkg.info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || randConstructors[fn.Name()] {
+				return true
+			}
+			a.report(sel.Pos(), "globalrand",
+				"%s.%s draws from the package-global source; thread a seeded *rand.Rand instead so Result.Seed stays deterministic", pn.Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// ---- floatcmp --------------------------------------------------------------
+
+func (a *analysis) checkFloatCmp() {
+	for _, f := range a.pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := a.pkg.info.Types[be.X]
+			ty := a.pkg.info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			// Two compile-time constants compare exactly by definition.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			a.report(be.OpPos, "floatcmp",
+				"raw %s between float expressions; use internal/feq (Eq/Close for tolerances, Zero/One for sentinels)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// ---- ctxloop ---------------------------------------------------------------
+
+func (a *analysis) checkCtxLoop() {
+	longRunning := a.cfg.longRunning()[a.pkg.importPath]
+	// Collect exported top-level function names first so the long-running
+	// clause can look for Name+"Context" siblings.
+	names := map[string]bool{}
+	for _, f := range a.pkg.files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+				names[fd.Name.Name] = true
+			}
+		}
+	}
+	for _, f := range a.pkg.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(a.pkg.info, fd)
+			if strings.HasSuffix(fd.Name.Name, "Context") && len(ctxParams) == 0 {
+				a.report(fd.Name.Pos(), "ctxloop",
+					"%s is named *Context but accepts no context.Context parameter", fd.Name.Name)
+			}
+			for _, p := range ctxParams {
+				if p.Name == "_" {
+					continue
+				}
+				obj := a.pkg.info.Defs[p]
+				if obj == nil || usesObject(a.pkg.info, fd.Body, obj) {
+					continue
+				}
+				a.report(p.Pos(), "ctxloop",
+					"%s accepts context parameter %s but never consults it; poll ctx.Err/ctx.Done or pass it on", fd.Name.Name, p.Name)
+			}
+			if longRunning && fd.Recv == nil && fd.Name.IsExported() &&
+				len(ctxParams) == 0 && !names[fd.Name.Name+"Context"] && containsFor(fd.Body) {
+				a.report(fd.Name.Pos(), "ctxloop",
+					"exported %s in a long-running package contains a loop but accepts no context.Context and has no %sContext variant", fd.Name.Name, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// contextParams returns the identifiers of parameters whose type is
+// context.Context.
+func contextParams(info *types.Info, fd *ast.FuncDecl) []*ast.Ident {
+	var out []*ast.Ident
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.Types[field.Type].Type
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		out = append(out, field.Names...)
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func usesObject(info *types.Info, body ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+func containsFor(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---- panics ----------------------------------------------------------------
+
+func (a *analysis) checkPanics() {
+	for _, f := range a.pkg.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := a.pkg.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					a.report(call.Pos(), "panics",
+						"panic in exported %s; return an error, or route impossible states through internal/invariant", fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ---- errcheck --------------------------------------------------------------
+
+// errcheckExemptPkgs are callee packages whose returned errors are
+// conventionally ignorable in statement position: fmt printing (the
+// process-output idiom) — everything else must be handled.
+var errcheckExemptPkgs = map[string]bool{"fmt": true}
+
+// errcheckExemptRecvs are receiver types whose Write*/flush-style methods
+// are documented never to fail.
+var errcheckExemptRecvs = map[string]bool{"bytes.Buffer": true, "strings.Builder": true}
+
+func (a *analysis) checkErrcheck() {
+	for _, f := range a.pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(a.pkg.info, call) || a.exemptCallee(call) {
+				return true
+			}
+			a.report(call.Pos(), "errcheck",
+				"%s returns an error that is discarded; handle it or assign it explicitly", calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call yields an error among its results.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptCallee reports whether the callee is on the conventional allowlist.
+func (a *analysis) exemptCallee(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level call: fmt.Printf and friends.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := a.pkg.info.Uses[id].(*types.PkgName); ok {
+			return errcheckExemptPkgs[pn.Imported().Path()]
+		}
+	}
+	// Method call: check the receiver's named type.
+	if s, ok := a.pkg.info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			return errcheckExemptRecvs[key]
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+const ignoreDirective = "//lint:ignore"
+
+// suppress drops findings covered by a well-formed //lint:ignore directive.
+// A directive covers its own line and the line below it (so it can trail a
+// statement or sit on the line above). Directives without a reason are
+// inert by design: every suppression must say why.
+func suppress(pkg *pkgInfo, findings []Finding) []Finding {
+	// suppressed[file][line][check]
+	suppressed := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, check string) {
+		if suppressed[file] == nil {
+			suppressed[file] = make(map[int]map[string]bool)
+		}
+		if suppressed[file][line] == nil {
+			suppressed[file][line] = make(map[string]bool)
+		}
+		suppressed[file][line][check] = true
+	}
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no check name or no reason: directive is inert
+				}
+				check := fields[0]
+				pos := pkg.fset.Position(c.Pos())
+				mark(pos.Filename, pos.Line, check)
+				mark(pos.Filename, pos.Line+1, check)
+			}
+		}
+	}
+	var kept []Finding
+	for _, f := range findings {
+		if suppressed[f.File][f.Line][f.Check] || suppressed[f.File][f.Line]["all"] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

@@ -1,0 +1,370 @@
+// Package lint implements crowdlint, the repository's domain-specific
+// static analyzer. It is built exclusively on the standard library
+// (go/parser, go/ast, go/types, go/build, go/importer) so the tier-1 gate
+// needs no external tooling.
+//
+// The checks encode contracts the paper's guarantees and PR 1's determinism
+// work depend on:
+//
+//   - globalrand: no package-level math/rand or math/rand/v2 functions
+//     outside _test.go files. All randomness must thread a seeded
+//     *rand.Rand so Result.Seed fully determines the pipeline's output.
+//   - floatcmp: no raw == or != between floating-point expressions outside
+//     the approved helper package internal/feq. Structural properties such
+//     as w_ij + w_ji = 1 hold only to rounding; exact comparisons must be
+//     deliberate, centralized sentinels.
+//   - ctxloop: a function that accepts a context.Context must consult it,
+//     a function named *Context must accept one, and exported loop-bearing
+//     functions in the long-running search package must either take a
+//     context or offer a *Context variant, so inference can always be
+//     cancelled.
+//   - panics: no panic calls inside exported functions or methods of
+//     library packages (package main and internal/invariant are exempt);
+//     library errors must surface as errors, invariant violations through
+//     the invariant package.
+//   - errcheck: no discarded error returns in statement position (including
+//     defer and go); fmt printing and the never-failing in-memory writers
+//     (bytes.Buffer, strings.Builder) are exempt.
+//
+// Findings can be suppressed with a trailing or preceding comment of the
+// form
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory: a directive without one is inert, so every
+// suppression in the tree documents why the rule does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// File is the path of the offending file, relative to the lint root
+	// when possible.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Check names the rule that fired (globalrand, floatcmp, ctxloop,
+	// panics, errcheck).
+	Check string `json:"check"`
+	// Message explains the violation and the fix.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// AllChecks lists every implemented check name.
+var AllChecks = []string{"globalrand", "floatcmp", "ctxloop", "panics", "errcheck"}
+
+// Config tunes a lint run. The zero value runs every check with no build
+// tags, which is what the tier-1 gate uses.
+type Config struct {
+	// BuildTags are extra build constraints honored when selecting files
+	// (e.g. crowdrank_invariants to lint the assertion-enabled variant).
+	BuildTags []string
+	// Checks, when non-empty, restricts the run to the named checks.
+	Checks []string
+	// FloatExemptPkgs lists import paths whose files may compare floats
+	// exactly: the approved epsilon-helper package(s). Defaults to
+	// crowdrank/internal/feq when nil.
+	FloatExemptPkgs []string
+	// PanicExemptPkgs lists import paths allowed to panic in exported
+	// code. Defaults to crowdrank/internal/invariant when nil. Package
+	// main is always exempt.
+	PanicExemptPkgs []string
+	// LongRunningPkgs lists import paths whose exported loop-bearing
+	// functions must be cancellable (ctxloop's third clause). Defaults to
+	// crowdrank/internal/search when nil.
+	LongRunningPkgs []string
+}
+
+func (c Config) floatExempt() map[string]bool {
+	pkgs := c.FloatExemptPkgs
+	if pkgs == nil {
+		pkgs = []string{"crowdrank/internal/feq"}
+	}
+	return toSet(pkgs)
+}
+
+func (c Config) panicExempt() map[string]bool {
+	pkgs := c.PanicExemptPkgs
+	if pkgs == nil {
+		pkgs = []string{"crowdrank/internal/invariant"}
+	}
+	return toSet(pkgs)
+}
+
+func (c Config) longRunning() map[string]bool {
+	pkgs := c.LongRunningPkgs
+	if pkgs == nil {
+		pkgs = []string{"crowdrank/internal/search"}
+	}
+	return toSet(pkgs)
+}
+
+func (c Config) enabled() map[string]bool {
+	if len(c.Checks) == 0 {
+		return toSet(AllChecks)
+	}
+	return toSet(c.Checks)
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+// Module lints every package under the module rooted at root (the directory
+// containing go.mod) and returns the findings sorted by position. A non-nil
+// error means the tree could not be loaded or type-checked — a build
+// problem, not a lint finding.
+func Module(root string, cfg Config) ([]Finding, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	return Dirs(root, dirs, cfg)
+}
+
+// Dirs lints the packages in the given directories (absolute or relative to
+// root). root must be the module root so intra-module imports resolve.
+func Dirs(root string, dirs []string, cfg Config) ([]Finding, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := newLoader(absRoot, cfg.BuildTags)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(absRoot, dir)
+		}
+		pkg, err := ld.loadDir(dir)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		findings = append(findings, analyze(pkg, cfg)...)
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(absRoot, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+	sort.Slice(findings, func(a, b int) bool {
+		fa, fb := findings[a], findings[b]
+		if fa.File != fb.File {
+			return fa.File < fb.File
+		}
+		if fa.Line != fb.Line {
+			return fa.Line < fb.Line
+		}
+		if fa.Col != fb.Col {
+			return fa.Col < fb.Col
+		}
+		return fa.Check < fb.Check
+	})
+	return findings, nil
+}
+
+// packageDirs walks root collecting every directory that holds Go files,
+// skipping hidden directories, testdata, and vendor.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// pkgInfo is one loaded, type-checked package ready for analysis.
+type pkgInfo struct {
+	fset       *token.FileSet
+	files      []*ast.File
+	pkg        *types.Package
+	info       *types.Info
+	importPath string
+}
+
+// loader parses and type-checks packages from source. Imports within the
+// module are resolved recursively from the tree itself; everything else
+// (the standard library) is type-checked from GOROOT source via the "source"
+// compiler importer, so no compiled export data or external tool is needed.
+type loader struct {
+	root       string
+	modulePath string
+	ctxt       build.Context
+	fset       *token.FileSet
+	std        types.Importer
+	cache      map[string]*pkgInfo
+	loading    map[string]bool
+}
+
+func newLoader(root string, tags []string) (*loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.BuildTags = append(append([]string(nil), ctxt.BuildTags...), tags...)
+	fset := token.NewFileSet()
+	return &loader{
+		root:       root,
+		modulePath: modPath,
+		ctxt:       ctxt,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*pkgInfo),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// importPathForDir maps a directory under the module root to its import path.
+func (ld *loader) importPathForDir(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, ld.root)
+	}
+	if rel == "." {
+		return ld.modulePath, nil
+	}
+	return ld.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (ld *loader) dirForImportPath(path string) (string, bool) {
+	if path == ld.modulePath {
+		return ld.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, ld.modulePath+"/"); ok {
+		return filepath.Join(ld.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// loadDir parses and type-checks the package in dir (non-test files only,
+// honoring build constraints).
+func (ld *loader) loadDir(dir string) (*pkgInfo, error) {
+	importPath, err := ld.importPathForDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cached, ok := ld.cache[importPath]; ok {
+		return cached, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return ld.importPkg(path)
+		}),
+		Sizes: types.SizesFor(ld.ctxt.Compiler, ld.ctxt.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pi := &pkgInfo{fset: ld.fset, files: files, pkg: pkg, info: info, importPath: importPath}
+	ld.cache[importPath] = pi
+	return pi, nil
+}
+
+// importPkg resolves an import encountered while type-checking: module-local
+// packages recurse into loadDir, everything else goes to the stdlib source
+// importer.
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := ld.dirForImportPath(path); ok {
+		pi, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintFixture writes the given files into a throwaway module and lints the
+// package directory "p". Fixture packages import only the standard library,
+// which the loader type-checks from GOROOT source.
+func lintFixture(t *testing.T, cfg Config, files map[string]string) []Finding {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "p")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := Dirs(root, []string{dir}, cfg)
+	if err != nil {
+		t.Fatalf("lint failed: %v", err)
+	}
+	return findings
+}
+
+// byCheck groups findings for easy assertions.
+func byCheck(fs []Finding) map[string]int {
+	out := make(map[string]int)
+	for _, f := range fs {
+		out[f.Check]++
+	}
+	return out
+}
+
+func TestGlobalRandCheck(t *testing.T) {
+	t.Run("positive", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"globalrand"}}, map[string]string{
+			"a.go": `package p
+
+import "math/rand/v2"
+
+func Draw() int { return rand.IntN(10) }
+`,
+			"b.go": `package p
+
+import old "math/rand"
+
+func Shuffle(xs []int) {
+	old.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+`,
+		})
+		if got := byCheck(fs)["globalrand"]; got != 2 {
+			t.Fatalf("want 2 globalrand findings (v2 and v1 package-global calls), got %d: %v", got, fs)
+		}
+	})
+	t.Run("negative", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"globalrand"}}, map[string]string{
+			"a.go": `package p
+
+import "math/rand/v2"
+
+func Draw(rng *rand.Rand) int { return rng.IntN(10) }
+
+func Build(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed)) }
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("seeded *rand.Rand use and constructors must be clean, got %v", fs)
+		}
+	})
+}
+
+func TestFloatCmpCheck(t *testing.T) {
+	t.Run("positive", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"floatcmp"}}, map[string]string{
+			"a.go": `package p
+
+func Same(a, b float64) bool { return a == b }
+
+func NotOne(x float64) bool { return x != 1 }
+
+func Mixed(x float32) bool { return x == 0.5 }
+`,
+		})
+		if got := byCheck(fs)["floatcmp"]; got != 3 {
+			t.Fatalf("want 3 floatcmp findings, got %d: %v", got, fs)
+		}
+	})
+	t.Run("negative", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"floatcmp"}}, map[string]string{
+			"a.go": `package p
+
+const eps = 1e-9
+
+func Ints(a, b int) bool { return a == b }
+
+func Strings(a, b string) bool { return a != b }
+
+// Two untyped constants compare at compile time.
+const exact = 0.5 == 0.25*2
+
+func Tolerant(a, b float64) bool { d := a - b; return d < eps && d > -eps }
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("integer/string/constant comparisons must be clean, got %v", fs)
+		}
+	})
+	t.Run("exempt package", func(t *testing.T) {
+		cfg := Config{Checks: []string{"floatcmp"}, FloatExemptPkgs: []string{"fixture/p"}}
+		fs := lintFixture(t, cfg, map[string]string{
+			"a.go": `package p
+
+func One(x float64) bool { return x == 1 }
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("the approved epsilon-helper package may compare exactly, got %v", fs)
+		}
+	})
+}
+
+func TestCtxLoopCheck(t *testing.T) {
+	t.Run("positive", func(t *testing.T) {
+		cfg := Config{Checks: []string{"ctxloop"}, LongRunningPkgs: []string{"fixture/p"}}
+		fs := lintFixture(t, cfg, map[string]string{
+			"a.go": `package p
+
+import "context"
+
+// Ignored accepts a context and never consults it.
+func Ignored(ctx context.Context, n int) int { return n * 2 }
+
+// RunContext claims cancellability in its name but accepts no context.
+func RunContext(n int) int { return n }
+
+// Search loops in a long-running package with no context and no
+// SearchContext variant.
+func Search(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+`,
+		})
+		if got := byCheck(fs)["ctxloop"]; got != 3 {
+			t.Fatalf("want 3 ctxloop findings (ignored param, misnamed func, uncancellable loop), got %d: %v", got, fs)
+		}
+	})
+	t.Run("negative", func(t *testing.T) {
+		cfg := Config{Checks: []string{"ctxloop"}, LongRunningPkgs: []string{"fixture/p"}}
+		fs := lintFixture(t, cfg, map[string]string{
+			"a.go": `package p
+
+import "context"
+
+// Search has a SearchContext sibling, so the plain variant may loop.
+func Search(n int) int { return searchImpl(context.Background(), n) }
+
+func SearchContext(ctx context.Context, n int) int { return searchImpl(ctx, n) }
+
+func searchImpl(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += i
+	}
+	return total
+}
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("polled contexts and *Context siblings must be clean, got %v", fs)
+		}
+	})
+}
+
+func TestPanicsCheck(t *testing.T) {
+	t.Run("positive", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"panics"}}, map[string]string{
+			"a.go": `package p
+
+func MustDouble(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n * 2
+}
+`,
+		})
+		if got := byCheck(fs)["panics"]; got != 1 {
+			t.Fatalf("want 1 panics finding in exported func, got %d: %v", got, fs)
+		}
+	})
+	t.Run("negative unexported and exempt", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"panics"}}, map[string]string{
+			"a.go": `package p
+
+func double(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n * 2
+}
+
+func Double(n int) int { return double(n) }
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("panic in unexported helper must be clean, got %v", fs)
+		}
+		fs = lintFixture(t, Config{Checks: []string{"panics"}, PanicExemptPkgs: []string{"fixture/p"}}, map[string]string{
+			"a.go": `package p
+
+func Assert(ok bool) {
+	if !ok {
+		panic("invariant violated")
+	}
+}
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("the invariant package may panic, got %v", fs)
+		}
+	})
+}
+
+func TestErrcheckCheck(t *testing.T) {
+	t.Run("positive", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"errcheck"}}, map[string]string{
+			"a.go": `package p
+
+import "os"
+
+func fail() error { return nil }
+
+func Run(f *os.File) {
+	fail()
+	defer f.Close()
+	go fail()
+}
+`,
+		})
+		if got := byCheck(fs)["errcheck"]; got != 3 {
+			t.Fatalf("want 3 errcheck findings (stmt, defer, go), got %d: %v", got, fs)
+		}
+	})
+	t.Run("negative", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"errcheck"}}, map[string]string{
+			"a.go": `package p
+
+import (
+	"bytes"
+	"fmt"
+)
+
+func fail() error { return nil }
+
+func Run(buf *bytes.Buffer) {
+	if err := fail(); err != nil {
+		return
+	}
+	_ = fail()
+	fmt.Println("fmt printing is exempt")
+	buf.WriteString("in-memory writers never fail")
+}
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("handled, blanked, and exempt calls must be clean, got %v", fs)
+		}
+	})
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	t.Run("with reason suppresses same line and next line", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"floatcmp"}}, map[string]string{
+			"a.go": `package p
+
+func Same(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture: trailing directive with a reason
+}
+
+func AlsoSame(a, b float64) bool {
+	//lint:ignore floatcmp fixture: directive on the line above with a reason
+	return a == b
+}
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("reasoned directives must suppress, got %v", fs)
+		}
+	})
+	t.Run("without reason is inert", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"floatcmp"}}, map[string]string{
+			"a.go": `package p
+
+func Same(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+`,
+		})
+		if got := byCheck(fs)["floatcmp"]; got != 1 {
+			t.Fatalf("a directive with no reason must not suppress, got %v", fs)
+		}
+	})
+	t.Run("wrong check name does not suppress", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"floatcmp"}}, map[string]string{
+			"a.go": `package p
+
+func Same(a, b float64) bool {
+	//lint:ignore errcheck fixture: names a different check
+	return a == b
+}
+`,
+		})
+		if got := byCheck(fs)["floatcmp"]; got != 1 {
+			t.Fatalf("directive for another check must not suppress, got %v", fs)
+		}
+	})
+}
+
+func TestFindingStringAndSorting(t *testing.T) {
+	fs := lintFixture(t, Config{Checks: []string{"floatcmp", "panics"}}, map[string]string{
+		"b.go": `package p
+
+func Cmp(a, b float64) bool { return a == b }
+`,
+		"a.go": `package p
+
+func Boom() { panic("x") }
+`,
+	})
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings, got %v", fs)
+	}
+	if !strings.HasSuffix(fs[0].File, "a.go") || !strings.HasSuffix(fs[1].File, "b.go") {
+		t.Fatalf("findings must sort by file: %v", fs)
+	}
+	str := fs[0].String()
+	for _, want := range []string{"a.go", "panics", ":3:"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("finding string %q missing %q", str, want)
+		}
+	}
+}
+
+func TestModuleSkipsTestFiles(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package p
+
+import "math/rand/v2"
+
+func helper() int { return rand.IntN(3) }
+`
+	if err := os.WriteFile(filepath.Join(root, "p_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "p.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Module(root, Config{Checks: []string{"globalrand"}})
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("_test.go files are exempt from linting, got %v", fs)
+	}
+}
+
+func TestBuildTagsSelectFiles(t *testing.T) {
+	files := map[string]string{
+		"on.go": `//go:build fixturetag
+
+package p
+
+func Gated(a, b float64) bool { return a == b }
+`,
+		"off.go": `//go:build !fixturetag
+
+package p
+
+func Gated(a, b float64) bool { return a < b }
+`,
+	}
+	clean := lintFixture(t, Config{Checks: []string{"floatcmp"}}, files)
+	if len(clean) != 0 {
+		t.Fatalf("untagged build selects off.go and must be clean, got %v", clean)
+	}
+	tagged := lintFixture(t, Config{Checks: []string{"floatcmp"}, BuildTags: []string{"fixturetag"}}, files)
+	if got := byCheck(tagged)["floatcmp"]; got != 1 {
+		t.Fatalf("tagged build selects on.go and must flag it, got %v", tagged)
+	}
+}

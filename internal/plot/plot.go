@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"crowdrank/internal/feq"
 )
 
 // Series is one named polyline.
@@ -75,13 +77,13 @@ func (c *Chart) WriteSVG(w io.Writer) error {
 	plotW := float64(width) - marginLeft - marginRight
 	plotH := float64(height) - marginTop - marginBottom
 	px := func(x float64) float64 {
-		if xMax == xMin {
+		if feq.Eq(xMax, xMin) {
 			return marginLeft + plotW/2
 		}
 		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
 	}
 	py := func(y float64) float64 {
-		if yMax == yMin {
+		if feq.Eq(yMax, yMin) {
 			return marginTop + plotH/2
 		}
 		return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH
@@ -177,7 +179,7 @@ func minMax(xs []float64) (lo, hi float64) {
 
 // niceTicks returns ~count round tick values covering [lo, hi].
 func niceTicks(lo, hi float64, count int) []float64 {
-	if lo == hi {
+	if feq.Eq(lo, hi) {
 		return []float64{lo, lo + 1}
 	}
 	span := hi - lo
@@ -201,7 +203,7 @@ func niceTicks(lo, hi float64, count int) []float64 {
 }
 
 func formatTick(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+	if feq.Eq(v, math.Trunc(v)) && math.Abs(v) < 1e6 {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.3g", v)

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"crowdrank/internal/graph"
+	"crowdrank/internal/invariant"
 )
 
 // Params tunes propagation. The zero value is not usable; call
@@ -190,6 +191,10 @@ func Closure(g *graph.PreferenceGraph, p Params) (*graph.PreferenceGraph, Stats,
 			}
 		}
 	}
+	// Stage-boundary assertion (no-op unless built with
+	// -tags crowdrank_invariants): the closure is a complete tournament
+	// with w_ij + w_ji = 1, the state Theorem 5.1 relies on.
+	invariant.CheckTournament(closure)
 	return closure, stats, nil
 }
 

@@ -175,6 +175,8 @@ type Certificate struct {
 // all-pairs objective in O(n^2), with no search. It is useful as a cheap
 // post-inference sanity measure: on well-calibrated closures the SAPS
 // result's Gap is small relative to |Score|.
+//
+//lint:ignore ctxloop bounded scoring pass: one O(n^2) sweep over the closure, no search
 func Certify(g *graph.PreferenceGraph, path []int) (*Certificate, error) {
 	logw, err := logWeights(g)
 	if err != nil {

@@ -65,7 +65,7 @@ func heldKarpConsecutive(logw [][]float64, n int) (*Result, error) {
 		base := s * n
 		for j := 0; j < n; j++ {
 			cur := dp[base+j]
-			if cur == negInf || s&(1<<uint(j)) == 0 {
+			if math.IsInf(cur, -1) || s&(1<<uint(j)) == 0 {
 				continue
 			}
 			for k := 0; k < n; k++ {
@@ -122,7 +122,7 @@ func heldKarpAllPairs(logw [][]float64, n int) (*Result, error) {
 	evals := 0
 	for s := 0; s < size-1; s++ {
 		cur := dp[s]
-		if cur == negInf {
+		if math.IsInf(cur, -1) {
 			continue
 		}
 		for k := 0; k < n; k++ {

@@ -18,6 +18,8 @@ import (
 // positions, so one full sweep costs O(n^2); under ObjectiveConsecutive
 // each candidate position is evaluated by its local edge window, keeping a
 // sweep at O(n^2) as well.
+//
+//lint:ignore ctxloop bounded local search: at most maxSweeps O(n^2) sweeps over an already-found path
 func InsertionPolish(g *graph.PreferenceGraph, path []int, obj Objective, maxSweeps int) (*Result, error) {
 	if !obj.valid() {
 		return nil, fmt.Errorf("search: unknown objective %d", obj)

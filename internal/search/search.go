@@ -96,6 +96,8 @@ func newResult(path []int, logProb float64, evals int) *Result {
 // enumerating all n! permutations with Heap's algorithm. It refuses
 // n > maxN (pass 0 for the default limit of 10) because the cost is
 // factorial.
+//
+//lint:ignore ctxloop bounded exact search: refuses n > 10, so the factorial enumeration finishes in milliseconds
 func BruteForce(g *graph.PreferenceGraph, maxN int, obj Objective) (*Result, error) {
 	if maxN <= 0 {
 		maxN = 10

@@ -45,6 +45,8 @@ type TAPSResult struct {
 // random access; halt as soon as the best seen probability reaches the
 // threshold (the product of the last weights seen under sorted access in
 // each list).
+//
+//lint:ignore ctxloop bounded exact search: refuses n > 9 (factorial space), so it finishes in milliseconds
 func TAPS(g *graph.PreferenceGraph, p TAPSParams) (*TAPSResult, error) {
 	if !p.Objective.valid() {
 		return nil, fmt.Errorf("search: unknown objective %d", p.Objective)
@@ -130,6 +132,7 @@ func TAPS(g *graph.PreferenceGraph, p TAPSParams) (*TAPSResult, error) {
 				bestLog = lp
 				bestIDs = bestIDs[:0]
 				bestIDs = append(bestIDs, entry.id)
+			//lint:ignore floatcmp deliberate exact tie detection: co-optimal paths share bit-identical log-sums computed by the same code path
 			case lp == bestLog:
 				bestIDs = append(bestIDs, entry.id)
 			}

@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 
 	"crowdrank/internal/graph"
+	"crowdrank/internal/invariant"
 )
 
 // Params tunes smoothing. The zero value is not usable; call DefaultParams.
@@ -101,6 +102,10 @@ func Smooth(g *graph.PreferenceGraph, quality []float64, workersByPair map[graph
 	if stats.Smoothed > 0 {
 		stats.MeanDelta = totalDelta / float64(stats.Smoothed)
 	}
+	// Stage-boundary assertion (no-op unless built with
+	// -tags crowdrank_invariants): no surviving 1-edges, bidirectional
+	// pairs, and strong connectivity on connected support (Theorem 5.1).
+	invariant.CheckSmoothed(smoothed)
 	return smoothed, stats, nil
 }
 

@@ -58,6 +58,7 @@ func Median(xs []float64) float64 {
 // because there is no meaningful zero value for an extremum.
 func MinMax(xs []float64) (lo, hi float64) {
 	if len(xs) == 0 {
+		//lint:ignore panics documented programmer-error panic: the doc comment requires a non-empty slice and there is no meaningful zero extremum
 		panic("stat: MinMax of empty slice")
 	}
 	lo, hi = xs[0], xs[0]
@@ -75,6 +76,7 @@ func MinMax(xs []float64) (lo, hi float64) {
 // Clamp limits x to the closed interval [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if lo > hi {
+		//lint:ignore panics documented programmer-error panic: inverted bounds are a caller bug, not a runtime condition
 		panic(fmt.Sprintf("stat: Clamp with inverted bounds [%v, %v]", lo, hi))
 	}
 	switch {

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"crowdrank/internal/feq"
 )
 
 // Numerical tuning constants for the special-function evaluators. They
@@ -43,7 +45,7 @@ func GammaP(a, x float64) (float64, error) {
 		return 0, fmt.Errorf("stat: GammaP requires a > 0, got a=%v", a)
 	case x < 0:
 		return 0, fmt.Errorf("stat: GammaP requires x >= 0, got x=%v", x)
-	case x == 0:
+	case feq.Zero(x):
 		return 0, nil
 	case math.IsInf(x, 1):
 		return 1, nil
@@ -70,7 +72,7 @@ func GammaQ(a, x float64) (float64, error) {
 		return 0, fmt.Errorf("stat: GammaQ requires a > 0, got a=%v", a)
 	case x < 0:
 		return 0, fmt.Errorf("stat: GammaQ requires x >= 0, got x=%v", x)
-	case x == 0:
+	case feq.Zero(x):
 		return 1, nil
 	case math.IsInf(x, 1):
 		return 0, nil
@@ -176,9 +178,9 @@ func ChiSquareQuantile(p float64, df float64) (float64, error) {
 		return 0, fmt.Errorf("stat: ChiSquareQuantile requires df > 0, got df=%v", df)
 	case p < 0 || p > 1:
 		return 0, fmt.Errorf("stat: ChiSquareQuantile requires 0 <= p <= 1, got p=%v", p)
-	case p == 0:
+	case feq.Zero(p):
 		return 0, nil
-	case p == 1:
+	case feq.One(p):
 		return math.Inf(1), nil
 	}
 
@@ -257,9 +259,9 @@ func NormalQuantile(p float64) float64 {
 	switch {
 	case math.IsNaN(p) || p < 0 || p > 1:
 		return math.NaN()
-	case p == 0:
+	case feq.Zero(p):
 		return math.Inf(-1)
-	case p == 1:
+	case feq.One(p):
 		return math.Inf(1)
 	}
 

@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 
 	"crowdrank/internal/graph"
+	"crowdrank/internal/invariant"
 )
 
 // Plan describes a generated task assignment.
@@ -161,6 +162,10 @@ func Generate(n, l int, rng *rand.Rand) (*Plan, error) {
 	if g.M() != l {
 		return nil, fmt.Errorf("taskgen: internal error: built %d edges, wanted %d", g.M(), l)
 	}
+	// Stage-boundary assertion (no-op unless built with
+	// -tags crowdrank_invariants): connectivity, edge budget, and the
+	// Theorem 4.1 near-regular degree sequence.
+	invariant.CheckTaskGraph(g, l)
 	return &Plan{
 		Graph:        g,
 		SeedPath:     path,

@@ -1,0 +1,44 @@
+package crowdrank
+
+import (
+	"testing"
+
+	"crowdrank/internal/lint"
+)
+
+// TestCrowdlintSelf runs the domain linter over the whole module with the
+// default configuration — the same invocation as `go run ./cmd/crowdlint
+// ./...` in scripts/check.sh — and fails on any finding. Keeping the tree
+// lint-clean is a tier-1 property: every check encodes a reproduction
+// contract (seeded randomness, tolerant float comparison, cancellable
+// searches, error-returning APIs), and a finding means a contract was
+// broken, not just a style slip.
+func TestCrowdlintSelf(t *testing.T) {
+	findings, err := lint.Module(".", lint.Config{})
+	if err != nil {
+		t.Fatalf("lint.Module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("crowdlint reported %d finding(s); fix or add a reasoned //lint:ignore", len(findings))
+	}
+}
+
+// TestCrowdlintSelfWithInvariantTag lints the crowdrank_invariants build
+// variant too, so the tag-gated assertion layer (on.go) cannot hide
+// violations from the untagged lint pass. The invariant package itself is
+// panic-exempt by default; everything else must hold under both tag sets.
+func TestCrowdlintSelfWithInvariantTag(t *testing.T) {
+	findings, err := lint.Module(".", lint.Config{BuildTags: []string{"crowdrank_invariants"}})
+	if err != nil {
+		t.Fatalf("lint.Module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("crowdlint reported %d finding(s) under -tags crowdrank_invariants", len(findings))
+	}
+}

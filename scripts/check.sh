@@ -1,16 +1,31 @@
 #!/usr/bin/env sh
-# Full local gate: vet, build, and race-enabled tests for every package.
-# CI and pre-commit both run exactly this.
+# Full local gate: formatting, vet, the domain linter, builds, race-enabled
+# tests, and the invariant-tagged test variant. CI and pre-commit both run
+# exactly this.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./... =="
 go vet ./...
+
+echo "== crowdlint ./... =="
+go run ./cmd/crowdlint ./...
 
 echo "== go build ./... =="
 go build ./...
 
 echo "== go test -race ./... =="
 go test -race ./...
+
+echo "== go test -tags crowdrank_invariants ./... =="
+go test -tags crowdrank_invariants ./...
 
 echo "== all checks passed =="
