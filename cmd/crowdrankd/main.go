@@ -1,0 +1,142 @@
+// Command crowdrankd is the long-running ranking daemon: it accepts vote
+// batches over HTTP, journals them crash-safely, and serves rankings with
+// deadline-aware degradation.
+//
+// Usage:
+//
+//	crowdrankd -n 100 -m 30 -journal votes.wal [-addr :8077] [-seed S]
+//	           [-fsync always|os] [-parallelism P] [-exact-limit K]
+//	           [-drain 10s] [-addr-file path]
+//
+// Endpoints:
+//
+//	POST /votes      {"votes":[{"worker":0,"i":3,"j":7,"prefers_i":true}]}
+//	GET  /rank       ?deadline_ms=50 bounds inference; degraded answers
+//	                 still return 200 and name the algorithm used
+//	GET  /healthz    operational stats
+//	GET  /readyz     503 once shutdown has begun
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener stops, in-flight
+// requests drain (bounded by -drain), and the journal is synced and closed.
+// On restart the journal is replayed; every acknowledged batch is
+// recovered, and a torn tail from a crash is truncated and reported.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdrank"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdrankd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main under test: it parses flags, starts the daemon, and blocks
+// until the listener fails or ctx-from-signals is cancelled.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crowdrankd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	n := fs.Int("n", 0, "number of objects being ranked (required)")
+	m := fs.Int("m", 0, "worker-pool size (required)")
+	journalPath := fs.String("journal", "", "write-ahead journal file (empty: in-memory, NOT crash-safe)")
+	seed := fs.Uint64("seed", 0, "pipeline seed (0: drawn at startup)")
+	fsync := fs.String("fsync", "always", "journal durability: always (fsync per ack) | os (page cache)")
+	parallelism := fs.Int("parallelism", 0, "inference parallelism (0: sequential)")
+	exactLimit := fs.Int("exact-limit", 0, "largest n solved with Held-Karp (0: default)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 || *m < 1 {
+		return fmt.Errorf("-n and -m are required (got n=%d m=%d)", *n, *m)
+	}
+
+	cfg := crowdrank.DefaultServeConfig(*n, *m)
+	cfg.JournalPath = *journalPath
+	cfg.Seed = *seed
+	cfg.Parallelism = *parallelism
+	if *exactLimit > 0 {
+		cfg.ExactLimit = *exactLimit
+	}
+	switch *fsync {
+	case "always":
+		// cfg default
+	case "os":
+		cfg.JournalSync = crowdrank.JournalSyncOS
+	default:
+		return fmt.Errorf("-fsync must be always or os, got %q", *fsync)
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(out, "crowdrankd: "+format+"\n", args...)
+	}
+	if *journalPath == "" {
+		fmt.Fprintln(out, "crowdrankd: warning: no -journal; acknowledged votes will NOT survive a crash")
+	}
+
+	srv, err := crowdrank.NewRankServer(cfg)
+	if err != nil {
+		return err
+	}
+	rec := srv.Recovered()
+	if rec.Records > 0 || rec.Truncated() {
+		fmt.Fprintf(out, "crowdrankd: recovered %d batches (%d votes) from journal\n", rec.Records, srv.VoteCount())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		// Written atomically so watchers never read a half-written address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "crowdrankd: serving n=%d m=%d seed=%d on %s\n", *n, *m, srv.Seed(), ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("listener failed: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+	fmt.Fprintln(out, "crowdrankd: shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(out, "crowdrankd: shutdown: %v\n", err)
+	}
+	// Close drains anything Shutdown abandoned and performs the final
+	// journal sync; after this every acknowledged batch is on disk.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "crowdrankd: journal synced, bye")
+	return nil
+}

@@ -2,6 +2,8 @@ package crowdrank
 
 import (
 	"errors"
+	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -190,5 +192,72 @@ func TestSimulateUnreliableVotesValidation(t *testing.T) {
 	}
 	if _, _, err := SimulateUnreliableVotes(nil, DefaultSimConfig(1), FaultConfig{}, DefaultCollectConfig()); err == nil {
 		t.Error("nil plan: expected error")
+	}
+}
+
+func TestCollectionReportString(t *testing.T) {
+	r := CollectionReport{
+		PlannedVotes: 100, Delivered: 80, Repaired: 5, Reposts: 7,
+		Lost: 20, LostToDropout: 12, LostLate: 5, LostPartial: 3,
+		Malformed: 2, Duplicates: 4,
+		ResidualCoverage: 0.875, UncoveredPairs: []Pair{{I: 0, J: 1}, {I: 2, J: 3}},
+		Spent: 50, RepairSpent: 3.5, Makespan: 90 * time.Second,
+	}
+	s := r.String()
+	// The report is the round's one-line audit trail: every headline number
+	// must survive into the rendered form.
+	for _, want := range []string{
+		"delivered 80 of 100 planned votes",
+		"5 repaired in 7 reposts",
+		"20 lost: 12 dropout / 5 late / 3 partial",
+		"2 malformed", "4 duplicate",
+		"coverage 0.875", "2 pairs uncovered",
+		"spent 50 + 4 repair", "makespan 1m30s",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q is missing %q", s, want)
+		}
+	}
+	var zero CollectionReport
+	if zs := zero.String(); !strings.Contains(zs, "delivered 0 of 0 planned votes") {
+		t.Errorf("zero report should render without panicking, got %q", zs)
+	}
+}
+
+func TestResidualCoverageEdgeCases(t *testing.T) {
+	plan, err := PlanTasksRatio(10, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := []Vote{{Worker: 0, I: plan.Pairs[0].I, J: plan.Pairs[0].J, PrefersI: true}}
+
+	// Zero workers: sanitization drops every vote, so nothing is covered
+	// and every planned pair is reported uncovered.
+	cov, uncovered := residualCoverage(plan, votes, 0)
+	if cov != 0 {
+		t.Errorf("zero workers should give coverage 0, got %v", cov)
+	}
+	if len(uncovered) != len(plan.Pairs) {
+		t.Errorf("zero workers should leave all %d pairs uncovered, got %d", len(plan.Pairs), len(uncovered))
+	}
+
+	// Empty plan: vacuously fully covered, nothing uncovered — even with
+	// votes present.
+	empty := &Plan{N: plan.N}
+	cov, uncovered = residualCoverage(empty, votes, 1)
+	if cov != 1 || uncovered != nil {
+		t.Errorf("empty plan should be vacuously covered, got %v / %v", cov, uncovered)
+	}
+
+	// One covered pair out of the plan: the ratio counts only planned
+	// pairs, and a mirrored (hi, lo) vote still covers its pair.
+	mirrored := []Vote{{Worker: 0, I: plan.Pairs[0].J, J: plan.Pairs[0].I, PrefersI: false}}
+	cov, uncovered = residualCoverage(plan, mirrored, 1)
+	want := 1 / float64(len(plan.Pairs))
+	if math.Abs(cov-want) > 1e-12 {
+		t.Errorf("coverage %v, want %v", cov, want)
+	}
+	if len(uncovered) != len(plan.Pairs)-1 {
+		t.Errorf("want %d uncovered pairs, got %d", len(plan.Pairs)-1, len(uncovered))
 	}
 }

@@ -33,7 +33,20 @@
 // the clock — is recorded in Result.Seed. Dependent calls that must see the
 // same closure, CertifyRanking in particular, should pass
 // WithSeed(result.Seed) so they certify the ranking that was actually
-// produced rather than a fresh random reconstruction.
+// produced rather than a fresh random reconstruction. The same contract
+// covers daemon-served rankings: a RankServer builds its closure under one
+// configured seed, reported in every rank response, so
+// CertifyRanking(..., WithSeed(seed)) certifies rankings served by
+// crowdrankd just as it certifies Infer results.
+//
+// # Serving
+//
+// For long-lived deployments, RankServer (and the crowdrankd binary built
+// on it) ingests vote batches into a checksummed write-ahead journal —
+// batches are acknowledged only once durable — and serves rankings under
+// request deadlines, degrading from exact search through SAPS annealing to
+// a greedy floor instead of failing. See cmd/crowdrankd and the README's
+// Serving section.
 //
 // The package also exposes the paper's evaluation apparatus: simulated
 // crowds with Gaussian/Uniform quality distributions, a synthetic

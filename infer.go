@@ -9,7 +9,9 @@ import (
 
 	"crowdrank/internal/core"
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/journal"
 	"crowdrank/internal/search"
+	"crowdrank/internal/serve"
 )
 
 // Vote records that Worker compared objects I and J and preferred I when
@@ -404,4 +406,54 @@ func CertifyRanking(n, m int, votes []Vote, ranking []int, opts ...Option) (*Cer
 		return nil, err
 	}
 	return &Certificate{Score: cert.Score, UpperBound: cert.UpperBound, Gap: cert.Gap}, nil
+}
+
+// ServeConfig configures the crowdrankd ranking daemon: journaled vote
+// ingestion, deadline-aware degradation, and the exact-rung circuit
+// breaker. DefaultServeConfig makes every default explicit; see
+// cmd/crowdrankd for the HTTP binary.
+type ServeConfig = serve.Config
+
+// RankServer is the daemon engine behind crowdrankd, usable in-process:
+// Ingest acknowledges batches only once durable in the write-ahead
+// journal, RankContext degrades down the search ladder under the caller's
+// deadline, and Handler exposes the HTTP API.
+//
+// Served rankings are certifiable exactly like Infer results: the daemon
+// runs the same Step 1-3 closure pipeline under its configured seed
+// (reported by Seed and in every rank response), so
+// CertifyRanking(..., WithSeed(seed)) recomputes the closure a served
+// ranking was searched on.
+type RankServer = serve.Server
+
+// ServeIngestResult and ServeRankResult are the daemon's batch
+// acknowledgement and ranking response types.
+type (
+	ServeIngestResult = serve.IngestResult
+	ServeRankResult   = serve.RankResult
+)
+
+// Journal durability policies for ServeConfig.JournalSync.
+const (
+	// JournalSyncAlways fsyncs before acknowledging each batch: an acked
+	// batch survives OS crash and power loss.
+	JournalSyncAlways = journal.SyncAlways
+	// JournalSyncOS leaves flushing to the page cache: faster, survives
+	// process death but not OS crash.
+	JournalSyncOS = journal.SyncOS
+)
+
+// DefaultServeConfig returns the daemon configuration for n objects and m
+// workers with every default made explicit.
+func DefaultServeConfig(n, m int) ServeConfig { return serve.DefaultConfig(n, m) }
+
+// NewRankServer validates cfg, opens and replays the journal, and returns
+// a ready daemon engine. Stop it with Close to drain in-flight work and
+// perform the final journal sync.
+func NewRankServer(cfg ServeConfig) (*RankServer, error) { return serve.New(cfg) }
+
+// IngestVotes feeds public Votes into a RankServer; a nil error means the
+// batch is durable under the configured journal policy.
+func IngestVotes(s *RankServer, votes []Vote) (ServeIngestResult, error) {
+	return s.Ingest(toInternalVotes(votes))
 }

@@ -1,0 +1,317 @@
+// Package journal implements the ranking daemon's write-ahead log: an
+// append-only file of checksummed, length-prefixed records that makes
+// acknowledged vote batches durable across crashes.
+//
+// The paper's setting makes the log load-bearing: a non-interactive round
+// spends the whole budget B in one posting, so votes the crowd already
+// returned cannot be re-bought. The daemon therefore acknowledges an ingest
+// only after its batch is on disk, and recovery replays the log to rebuild
+// exactly the acknowledged state.
+//
+// # On-disk format
+//
+//	8 bytes   magic + version ("CRWDWAL\x01")
+//	repeated records:
+//	  4 bytes  payload length, little-endian uint32
+//	  4 bytes  CRC32-Castagnoli of the payload, little-endian
+//	  N bytes  payload (opaque to this package)
+//
+// Replay walks records from the header until the file ends. A record that
+// cannot be read in full, claims an implausible length, or fails its
+// checksum is a torn tail: the crash interrupted an append. Replay stops at
+// the first such record, reports it, and truncates the file back to the
+// last valid boundary so the damage cannot masquerade as data on later
+// opens. Corruption is never silently replayed and never panics — a
+// property fuzzed by FuzzJournalReplay in internal/serve.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// fileMagic identifies a crowdrank journal; the final byte is the format
+// version.
+var fileMagic = []byte("CRWDWAL\x01")
+
+// headerSize is the length of the file magic.
+const headerSize = 8
+
+// recordHeaderSize is the per-record prefix: 4-byte length + 4-byte CRC.
+const recordHeaderSize = 8
+
+// DefaultMaxRecord caps a single record's payload. A length prefix beyond
+// it is treated as corruption, bounding the allocation a torn or hostile
+// file can force during replay.
+const DefaultMaxRecord = 16 << 20
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives power loss. The default, and what the daemon uses before
+	// acking an ingest.
+	SyncAlways SyncPolicy = iota
+	// SyncOS leaves flushing to the OS page cache: records survive a
+	// process crash (SIGKILL) but not power loss. Sync can still be called
+	// explicitly; Close always syncs.
+	SyncOS
+)
+
+// String names the policy for flags and logs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOS:
+		return "os"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options tunes Open. The zero value is usable: fsync on every append and
+// the default record-size cap.
+type Options struct {
+	// Sync selects the append durability policy.
+	Sync SyncPolicy
+	// MaxRecord caps a single payload's size; 0 means DefaultMaxRecord.
+	MaxRecord int
+}
+
+func (o Options) maxRecord() int {
+	if o.MaxRecord <= 0 {
+		return DefaultMaxRecord
+	}
+	return o.MaxRecord
+}
+
+// ReplayStats describes what Open found in an existing journal.
+type ReplayStats struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// ValidBytes is the file offset of the last valid record boundary
+	// (header included).
+	ValidBytes int64
+	// TruncatedBytes counts bytes cut from a torn or corrupt tail; 0 means
+	// the file ended exactly on a record boundary.
+	TruncatedBytes int64
+	// TailError describes why the tail was rejected; empty when the file
+	// was clean.
+	TailError string
+}
+
+// Truncated reports whether Open had to cut a damaged tail.
+func (s ReplayStats) Truncated() bool { return s.TruncatedBytes > 0 }
+
+// Journal is an open write-ahead log. Append is safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	opts   Options
+	size   int64
+	closed bool
+}
+
+// Open opens or creates the journal at path, replays every valid record
+// through fn (which may be nil), truncates any torn tail, and leaves the
+// journal positioned for appends. The returned stats describe the replay
+// even when fn is nil.
+//
+// A non-nil error from fn aborts the open with that error and leaves the
+// file untouched. A file that exists but does not start with the journal
+// magic is refused outright — it is some other file, not a torn journal.
+func Open(path string, opts Options, fn func(payload []byte) error) (*Journal, ReplayStats, error) {
+	var stats ReplayStats
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, stats, fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+
+	if info.Size() == 0 {
+		// Fresh journal: write and persist the header before any append.
+		if _, err := f.Write(fileMagic); err != nil {
+			_ = f.Close()
+			return nil, stats, fmt.Errorf("journal: writing header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, stats, fmt.Errorf("journal: syncing header: %w", err)
+		}
+		stats.ValidBytes = headerSize
+		return &Journal{f: f, path: path, opts: opts, size: headerSize}, stats, nil
+	}
+
+	stats, err = scan(f, info.Size(), opts.maxRecord(), fn)
+	if err != nil {
+		_ = f.Close()
+		return nil, stats, err
+	}
+	if stats.Truncated() {
+		if err := f.Truncate(stats.ValidBytes); err != nil {
+			_ = f.Close()
+			return nil, stats, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, stats, fmt.Errorf("journal: syncing after truncation: %w", err)
+		}
+	}
+	if _, err := f.Seek(stats.ValidBytes, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, stats, fmt.Errorf("journal: seeking to append position: %w", err)
+	}
+	return &Journal{f: f, path: path, opts: opts, size: stats.ValidBytes}, stats, nil
+}
+
+// scan validates the header and walks records, invoking fn on each valid
+// payload. It distinguishes torn tails (reported in stats, not an error)
+// from unusable files and callback failures (errors).
+func scan(r io.ReadSeeker, size int64, maxRecord int, fn func([]byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return stats, fmt.Errorf("journal: seek: %w", err)
+	}
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return stats, fmt.Errorf("journal: file too short for header (%d bytes): not a journal", size)
+	}
+	if string(header) != string(fileMagic) {
+		return stats, fmt.Errorf("journal: bad magic %q: not a crowdrank journal", header)
+	}
+
+	offset := int64(headerSize)
+	stats.ValidBytes = offset
+	hdr := make([]byte, recordHeaderSize)
+	for {
+		n, err := io.ReadFull(r, hdr)
+		if err == io.EOF {
+			break // clean end on a record boundary
+		}
+		if err != nil {
+			stats.TailError = fmt.Sprintf("truncated record header at offset %d (%d of %d bytes)", offset, n, recordHeaderSize)
+			break
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || int64(length) > int64(maxRecord) {
+			stats.TailError = fmt.Sprintf("implausible record length %d at offset %d (max %d)", length, offset, maxRecord)
+			break
+		}
+		if offset+recordHeaderSize+int64(length) > size {
+			stats.TailError = fmt.Sprintf("truncated record payload at offset %d (%d bytes promised, %d in file)",
+				offset, length, size-offset-recordHeaderSize)
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			stats.TailError = fmt.Sprintf("short read of record payload at offset %d: %v", offset, err)
+			break
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			stats.TailError = fmt.Sprintf("checksum mismatch at offset %d: recorded %08x, computed %08x", offset, want, got)
+			break
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return stats, fmt.Errorf("journal: replay callback at record %d: %w", stats.Records, err)
+			}
+		}
+		stats.Records++
+		offset += recordHeaderSize + int64(length)
+		stats.ValidBytes = offset
+	}
+	stats.TruncatedBytes = size - stats.ValidBytes
+	if stats.TruncatedBytes > 0 && stats.TailError == "" {
+		stats.TailError = "trailing bytes past the last valid record"
+	}
+	return stats, nil
+}
+
+// Append writes one record and, under SyncAlways, fsyncs before returning,
+// so a nil error means the payload is durable and may be acknowledged.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("journal: refusing empty payload")
+	}
+	if len(payload) > j.opts.maxRecord() {
+		return fmt.Errorf("journal: payload of %d bytes exceeds record cap %d", len(payload), j.opts.maxRecord())
+	}
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[recordHeaderSize:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: append to closed journal %s", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.size += int64(len(buf))
+	if j.opts.Sync == SyncAlways {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync after append: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: sync of closed journal %s", j.path)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal. Further appends fail. Close is
+// idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("journal: final sync: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("journal: close: %w", closeErr)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Size returns the current file size in bytes (header included).
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}

@@ -1,0 +1,306 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// openCollect opens the journal collecting every replayed payload.
+func openCollect(t *testing.T, path string, opts Options) (*Journal, ReplayStats, [][]byte) {
+	t.Helper()
+	var payloads [][]byte
+	j, stats, err := Open(path, opts, func(p []byte) error {
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j, stats, payloads
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, stats, _ := openCollect(t, path, Options{})
+	if stats.Records != 0 || stats.Truncated() {
+		t.Fatalf("fresh journal stats = %+v", stats)
+	}
+	want := [][]byte{[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range want {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	_, stats, got := openCollect(t, path, Options{})
+	if stats.Records != len(want) || stats.Truncated() || stats.TailError != "" {
+		t.Fatalf("replay stats = %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReopenAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, _ := openCollect(t, path, Options{Sync: SyncOS})
+	if err := j.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, stats, _ := openCollect(t, path, Options{})
+	if stats.Records != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := j.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, path, Options{})
+	if stats.Records != 2 || len(got) != 2 || string(got[1]) != "two" {
+		t.Fatalf("after reopen-append: stats=%+v got=%q", stats, got)
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: a partial record at
+// the tail must be detected, reported, and cut — and must not destroy the
+// valid prefix.
+func TestTornTailTruncated(t *testing.T) {
+	cases := []struct {
+		name string
+		tail []byte
+	}{
+		{"partial header", []byte{0x05, 0x00}},
+		{"payload promised but missing", func() []byte {
+			b := make([]byte, 8)
+			binary.LittleEndian.PutUint32(b[0:4], 100)
+			binary.LittleEndian.PutUint32(b[4:8], 0xDEADBEEF)
+			return append(b, []byte("only ten b")...)
+		}()},
+		{"zero length", make([]byte, 8)},
+		{"implausible length", func() []byte {
+			b := make([]byte, 8)
+			binary.LittleEndian.PutUint32(b[0:4], 1<<30)
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.wal")
+			j, _, _ := openCollect(t, path, Options{})
+			if err := j.Append([]byte("kept")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			j, stats, got := openCollect(t, path, Options{})
+			if stats.Records != 1 || len(got) != 1 || string(got[0]) != "kept" {
+				t.Fatalf("valid prefix lost: stats=%+v got=%q", stats, got)
+			}
+			if !stats.Truncated() || stats.TailError == "" {
+				t.Fatalf("torn tail not reported: %+v", stats)
+			}
+			if stats.TruncatedBytes != int64(len(tc.tail)) {
+				t.Errorf("TruncatedBytes = %d, want %d", stats.TruncatedBytes, len(tc.tail))
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// After truncation the file must be clean on the next open.
+			_, stats2, _ := openCollect(t, path, Options{})
+			if stats2.Truncated() || stats2.Records != 1 {
+				t.Fatalf("truncation did not persist: %+v", stats2)
+			}
+		})
+	}
+}
+
+// TestChecksumMismatchRejected flips one bit inside a record's payload; the
+// record must be rejected and truncated, not silently replayed.
+func TestChecksumMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, _ := openCollect(t, path, Options{})
+	if err := j.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("second-to-corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01 // last byte of the final record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, got := openCollect(t, path, Options{})
+	if stats.Records != 1 || len(got) != 1 || string(got[0]) != "first" {
+		t.Fatalf("stats=%+v got=%q", stats, got)
+	}
+	if !stats.Truncated() || !strings.Contains(stats.TailError, "checksum mismatch") {
+		t.Fatalf("corruption not named: %+v", stats)
+	}
+}
+
+func TestBadMagicRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("this is certainly not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}, nil); err == nil {
+		t.Fatal("Open accepted a non-journal file")
+	}
+	short := filepath.Join(t.TempDir(), "short")
+	if err := os.WriteFile(short, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(short, Options{}, nil); err == nil {
+		t.Fatal("Open accepted a file shorter than the header")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, _ := openCollect(t, path, Options{MaxRecord: 64})
+	if err := j.Append(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := j.Append(bytes.Repeat([]byte{1}, 65)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("x")); err == nil {
+		t.Error("append after Close accepted")
+	}
+	if err := j.Sync(); err == nil {
+		t.Error("sync after Close accepted")
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, _ := openCollect(t, path, Options{})
+	if err := j.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	_, _, err := Open(path, Options{}, func([]byte) error { return boom })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+	// The failed open must not have damaged the file.
+	_, stats, _ := openCollect(t, path, Options{})
+	if stats.Records != 1 || stats.Truncated() {
+		t.Fatalf("file damaged by aborted open: %+v", stats)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, _ := openCollect(t, path, Options{Sync: SyncOS})
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, path, Options{})
+	if stats.Records != writers*each || len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d (stats %+v)", len(got), writers*each, stats)
+	}
+}
+
+func TestSizeAndPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, _ := openCollect(t, path, Options{})
+	if j.Path() != path {
+		t.Errorf("Path() = %q", j.Path())
+	}
+	if j.Size() != headerSize {
+		t.Errorf("fresh Size() = %d", j.Size())
+	}
+	if err := j.Append([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(headerSize + recordHeaderSize + 4); j.Size() != want {
+		t.Errorf("Size() = %d, want %d", j.Size(), want)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != j.Size() {
+		t.Errorf("on-disk size %d != tracked %d", info.Size(), j.Size())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// CRC sanity: the record we wrote verifies under Castagnoli.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := data[headerSize:]
+	if crc := binary.LittleEndian.Uint32(rec[4:8]); crc != crc32.Checksum([]byte("abcd"), castagnoli) {
+		t.Errorf("stored CRC %08x mismatches recomputation", crc)
+	}
+}

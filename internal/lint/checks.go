@@ -128,14 +128,27 @@ func isFloat(t types.Type) bool {
 
 func (a *analysis) checkCtxLoop() {
 	longRunning := a.cfg.longRunning()[a.pkg.importPath]
-	// Collect exported top-level function names first so the long-running
-	// clause can look for Name+"Context" siblings.
+	// Collect top-level function names and per-receiver method names first
+	// so the long-running clause can look for Name+"Context" siblings:
+	// daemon loops live in methods (Server.Ingest, Server.Rank), not only
+	// free functions.
 	names := map[string]bool{}
+	methods := map[string]map[string]bool{}
 	for _, f := range a.pkg.files {
 		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
-				names[fd.Name.Name] = true
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
 			}
+			if fd.Recv == nil {
+				names[fd.Name.Name] = true
+				continue
+			}
+			recv := recvTypeName(fd)
+			if methods[recv] == nil {
+				methods[recv] = map[string]bool{}
+			}
+			methods[recv][fd.Name.Name] = true
 		}
 	}
 	for _, f := range a.pkg.files {
@@ -160,11 +173,40 @@ func (a *analysis) checkCtxLoop() {
 				a.report(p.Pos(), "ctxloop",
 					"%s accepts context parameter %s but never consults it; poll ctx.Err/ctx.Done or pass it on", fd.Name.Name, p.Name)
 			}
-			if longRunning && fd.Recv == nil && fd.Name.IsExported() &&
-				len(ctxParams) == 0 && !names[fd.Name.Name+"Context"] && containsFor(fd.Body) {
-				a.report(fd.Name.Pos(), "ctxloop",
-					"exported %s in a long-running package contains a loop but accepts no context.Context and has no %sContext variant", fd.Name.Name, fd.Name.Name)
+			if longRunning && fd.Name.IsExported() && len(ctxParams) == 0 && containsFor(fd.Body) {
+				switch {
+				case fd.Recv == nil && !names[fd.Name.Name+"Context"]:
+					a.report(fd.Name.Pos(), "ctxloop",
+						"exported %s in a long-running package contains a loop but accepts no context.Context and has no %sContext variant", fd.Name.Name, fd.Name.Name)
+				case fd.Recv != nil && !methods[recvTypeName(fd)][fd.Name.Name+"Context"]:
+					a.report(fd.Name.Pos(), "ctxloop",
+						"exported method %s in a long-running package contains a loop but accepts no context.Context and has no %sContext sibling method", fd.Name.Name, fd.Name.Name)
+				}
 			}
+		}
+	}
+}
+
+// recvTypeName returns the bare receiver type name of a method ("Server"
+// for func (s *Server) or generic receivers), so sibling methods can be
+// grouped per type.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
 		}
 	}
 }

@@ -88,7 +88,8 @@ type Config struct {
 	PanicExemptPkgs []string
 	// LongRunningPkgs lists import paths whose exported loop-bearing
 	// functions must be cancellable (ctxloop's third clause). Defaults to
-	// crowdrank/internal/search when nil.
+	// crowdrank/internal/search and crowdrank/internal/serve (the daemon
+	// engine: its request loops run under client deadlines) when nil.
 	LongRunningPkgs []string
 }
 
@@ -111,7 +112,10 @@ func (c Config) panicExempt() map[string]bool {
 func (c Config) longRunning() map[string]bool {
 	pkgs := c.LongRunningPkgs
 	if pkgs == nil {
-		pkgs = []string{"crowdrank/internal/search"}
+		pkgs = []string{
+			"crowdrank/internal/search",
+			"crowdrank/internal/serve",
+		}
 	}
 	return toSet(pkgs)
 }

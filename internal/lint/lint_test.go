@@ -187,6 +187,61 @@ func searchImpl(ctx context.Context, n int) int {
 			t.Fatalf("polled contexts and *Context siblings must be clean, got %v", fs)
 		}
 	})
+	t.Run("methods", func(t *testing.T) {
+		// Daemon-style loops live in methods: an exported loop-bearing
+		// method in a long-running package needs a ctx param or a
+		// Name+"Context" sibling method on the same receiver — a sibling
+		// on a different type does not count.
+		cfg := Config{Checks: []string{"ctxloop"}, LongRunningPkgs: []string{"fixture/p"}}
+		fs := lintFixture(t, cfg, map[string]string{
+			"a.go": `package p
+
+import "context"
+
+type Server struct{ n int }
+
+// Ingest loops with no context and no IngestContext sibling: finding.
+func (s *Server) Ingest(items []int) int {
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+// Rank is covered by its RankContext sibling method.
+func (s *Server) Rank(items []int) int { return s.RankContext(context.Background(), items) }
+
+func (s *Server) RankContext(ctx context.Context, items []int) int {
+	total := 0
+	for _, v := range items {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+type Other struct{}
+
+// IngestContext on another receiver must not excuse Server.Ingest.
+func (o *Other) IngestContext(ctx context.Context) error { return ctx.Err() }
+
+// report is unexported: the clause only binds the exported surface.
+func (s *Server) report(items []int) int {
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+`,
+		})
+		if got := byCheck(fs)["ctxloop"]; got != 1 {
+			t.Fatalf("want exactly 1 ctxloop finding (Server.Ingest), got %d: %v", got, fs)
+		}
+	})
 }
 
 func TestPanicsCheck(t *testing.T) {

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"testing"
+
+	"crowdrank/internal/graph"
+)
+
+func TestGreedyOrderedTournament(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveAllPairs, ObjectiveConsecutive} {
+		g := orderedTournament(t, 9, 0.85)
+		res, err := Greedy(g, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Path {
+			if v != i {
+				t.Fatalf("%v: greedy path %v should recover the identity order", obj, res.Path)
+			}
+		}
+	}
+}
+
+// TestGreedyNeverBeatsExact: greedy's score is a lower bound on the
+// optimum, and on random tournaments it stays a valid permutation.
+func TestGreedyNeverBeatsExact(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		g := randomTournament(t, 7, newRNG(seed))
+		greedy, err := Greedy(g, ObjectiveAllPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := BruteForce(g, 0, ObjectiveAllPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.LogProb > exact.LogProb+1e-9 {
+			t.Fatalf("seed %d: greedy LogProb %v exceeds optimum %v", seed, greedy.LogProb, exact.LogProb)
+		}
+		seen := make([]bool, 7)
+		for _, v := range greedy.Path {
+			if v < 0 || v >= 7 || seen[v] {
+				t.Fatalf("seed %d: greedy path %v is not a permutation", seed, greedy.Path)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	g := randomTournament(t, 12, newRNG(7))
+	a, err := Greedy(g, ObjectiveAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(g, ObjectiveAllPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			t.Fatalf("greedy is not deterministic: %v vs %v", a.Path, b.Path)
+		}
+	}
+}
+
+func TestGreedyRejectsBadInput(t *testing.T) {
+	g, err := graph.NewPreferenceGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWeight(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Greedy(g, ObjectiveAllPairs); err == nil {
+		t.Error("incomplete graph should fail")
+	}
+	if _, err := Greedy(orderedTournament(t, 3, 0.9), Objective(99)); err == nil {
+		t.Error("unknown objective should fail")
+	}
+	if _, err := Greedy(nil, ObjectiveAllPairs); err == nil {
+		t.Error("nil graph should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"crowdrank/internal/crowd"
+)
+
+// Vote batches are journaled in a compact varint encoding:
+//
+//	uvarint  count
+//	repeated count times:
+//	  uvarint worker
+//	  uvarint i
+//	  uvarint j
+//	  1 byte  prefersI (0 or 1)
+//
+// The journal layer already guarantees integrity (CRC32 per record);
+// decodeBatch guards structure: counts must match the bytes present, no
+// trailing garbage, and every field must fit the configured universe.
+
+// encodeBatch serializes validated votes for the journal.
+func encodeBatch(votes []crowd.Vote) []byte {
+	buf := make([]byte, 0, 4+len(votes)*7)
+	buf = binary.AppendUvarint(buf, uint64(len(votes)))
+	for _, v := range votes {
+		buf = binary.AppendUvarint(buf, uint64(v.Worker))
+		buf = binary.AppendUvarint(buf, uint64(v.I))
+		buf = binary.AppendUvarint(buf, uint64(v.J))
+		if v.PrefersI {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// decodeBatch parses one journal payload back into votes for n objects and
+// m workers. Structural damage (impossible counts, short data, trailing
+// bytes) is an error; individual votes outside the universe are dropped
+// and counted, so a journal written under a larger universe degrades
+// rather than poisons state.
+func decodeBatch(data []byte, n, m int) (votes []crowd.Vote, dropped int, err error) {
+	count, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("serve: batch count unreadable")
+	}
+	// Each vote takes at least 4 bytes; a count promising more than the
+	// payload could hold is corruption, and bounding it caps allocation.
+	if count > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("serve: batch count %d exceeds payload capacity %d", count, len(data))
+	}
+	votes = make([]crowd.Vote, 0, count)
+	rest := data[off:]
+	readField := func(name string) (uint64, error) {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return 0, fmt.Errorf("serve: batch %s unreadable at byte %d", name, len(data)-len(rest))
+		}
+		rest = rest[k:]
+		return v, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		worker, err := readField("worker")
+		if err != nil {
+			return nil, 0, err
+		}
+		vi, err := readField("object i")
+		if err != nil {
+			return nil, 0, err
+		}
+		vj, err := readField("object j")
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(rest) == 0 {
+			return nil, 0, fmt.Errorf("serve: batch vote %d missing preference byte", i)
+		}
+		pref := rest[0]
+		rest = rest[1:]
+		if pref > 1 {
+			return nil, 0, fmt.Errorf("serve: batch vote %d has preference byte %d", i, pref)
+		}
+		// Overflow-safe narrowing: anything beyond the universe is a
+		// dropped vote, not a decode failure.
+		const maxID = 1 << 31
+		if worker >= maxID || vi >= maxID || vj >= maxID {
+			dropped++
+			continue
+		}
+		v := crowd.Vote{Worker: int(worker), I: int(vi), J: int(vj), PrefersI: pref == 1}
+		if v.Validate(n, m) != nil {
+			dropped++
+			continue
+		}
+		votes = append(votes, v)
+	}
+	if len(rest) != 0 {
+		return nil, 0, fmt.Errorf("serve: batch has %d trailing bytes", len(rest))
+	}
+	return votes, dropped, nil
+}

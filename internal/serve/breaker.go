@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the exact-rung circuit breaker. Repeated deadline overruns of
+// exact search mean the instance is too hard for the budgets requests are
+// carrying; paying for more doomed attempts only eats into the SAPS
+// budget. After threshold consecutive overruns the breaker opens and the
+// ladder starts at SAPS. After the cooldown a single half-open probe lets
+// one request try exact search again: success closes the breaker, another
+// overrun re-opens it for a fresh cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	failures int
+	open     bool
+	probing  bool // a half-open probe is in flight
+	until    time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether the exact rung may run now. While open it returns
+// false until the cooldown elapses, then admits exactly one probe
+// (half-open) and blocks the rest until that probe reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || b.now().Before(b.until) {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success reports an exact-rung completion within deadline.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+}
+
+// failure reports an exact-rung deadline overrun.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		// The half-open probe overran: re-open for a fresh cooldown.
+		b.probing = false
+		b.open = true
+		b.until = b.now().Add(b.cooldown)
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.open = true
+		b.failures = 0
+		b.until = b.now().Add(b.cooldown)
+	}
+}
+
+// state names the breaker position for responses and /healthz.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.probing:
+		return "half-open"
+	case b.open && b.now().Before(b.until):
+		return "open"
+	case b.open:
+		return "half-open" // cooldown elapsed; next allow() admits the probe
+	default:
+		return "closed"
+	}
+}

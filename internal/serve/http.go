@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"crowdrank/internal/crowd"
+)
+
+// maxBodyBytes bounds one ingest request body; MaxBatchVotes bounds the
+// decoded vote count, but the body must be capped before decoding starts.
+const maxBodyBytes = 32 << 20
+
+// voteJSON is the wire form of one vote on POST /votes.
+type voteJSON struct {
+	Worker   int  `json:"worker"`
+	I        int  `json:"i"`
+	J        int  `json:"j"`
+	PrefersI bool `json:"prefers_i"`
+}
+
+// ingestRequest is the POST /votes body.
+type ingestRequest struct {
+	Votes []voteJSON `json:"votes"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /votes      ingest a vote batch; 200 acknowledges durability
+//	GET  /rank       serve a ranking; ?deadline_ms bounds inference time
+//	GET  /healthz    liveness + operational stats (always 200 while up)
+//	GET  /readyz     readiness; 503 once shutdown has begun
+//
+// Ingest and rank are guarded by bounded queues: when a queue is full the
+// request is rejected immediately with 429 and a Retry-After header
+// instead of piling onto the journal or the inference pipeline.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /votes", s.handleVotes)
+	mux.HandleFunc("GET /rank", s.handleRank)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// writeJSON emits one JSON response; encode failures (client gone,
+// connection reset) are logged rather than dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("serve: writing %d response: %v", status, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// acquire takes a slot from a bounded queue without blocking; a full
+// queue means the caller should answer 429.
+func acquire(sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if !acquire(s.ingestSem) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "ingest queue full")
+		return
+	}
+	defer func() { <-s.ingestSem }()
+
+	var req ingestRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	votes := make([]crowd.Vote, len(req.Votes))
+	for i, v := range req.Votes {
+		votes[i] = crowd.Vote{Worker: v.Worker, I: v.I, J: v.J, PrefersI: v.PrefersI}
+	}
+	res, err := s.IngestContext(r.Context(), votes)
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, errShuttingDown):
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, errBatchTooLarge):
+		s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client vanished before the batch committed: nothing was written,
+		// nothing to acknowledge.
+		s.writeError(w, http.StatusBadRequest, "request cancelled before batch committed")
+	default:
+		// Journal append failed: the batch is NOT durable and must not be
+		// acknowledged.
+		s.logf("serve: ingest failed: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	deadline := s.cfg.DefaultDeadline
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			s.writeError(w, http.StatusBadRequest, "deadline_ms must be a positive integer, got %q", raw)
+			return
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	if !acquire(s.rankSem) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "rank queue full")
+		return
+	}
+	defer func() { <-s.rankSem }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	res, err := s.RankContext(ctx)
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, errShuttingDown):
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody reads this, but close out the request.
+		s.writeError(w, http.StatusBadRequest, "request cancelled")
+	default:
+		s.logf("serve: rank failed: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"crowdrank/internal/invariant"
+	"crowdrank/internal/search"
+)
+
+// Algorithm names reported in RankResult.Algorithm. The acceptance
+// contract is that a response always names the rung that actually
+// produced the ranking.
+const (
+	AlgoExactHeldKarp    = "exact:heldkarp"
+	AlgoExactBranchBound = "exact:branchbound"
+	AlgoSAPS             = "saps"
+	AlgoGreedy           = "greedy"
+	// AlgoUninformed is returned before any votes arrive: the identity
+	// order under the uniform 0.5 prior, where every ranking is equally
+	// likely.
+	AlgoUninformed = "uninformed-prior"
+)
+
+// RankResult is one served ranking and the story of how it was produced.
+type RankResult struct {
+	// Ranking is the full ranking, most-preferred first.
+	Ranking []int `json:"ranking"`
+	// LogProb is the all-pairs log preference probability of Ranking.
+	LogProb float64 `json:"log_prob"`
+	// Algorithm names the ladder rung that produced the ranking.
+	Algorithm string `json:"algorithm"`
+	// Degraded is true when a rung below exact search answered — because
+	// the deadline could not afford exact, exact overran, or the breaker
+	// had it tripped.
+	Degraded bool `json:"degraded"`
+	// Votes is the deduplicated vote count the ranking was inferred from.
+	Votes int `json:"votes"`
+	// Seed is the pipeline seed; CertifyRanking with the same votes and
+	// WithSeed(Seed) certifies this ranking against the same closure.
+	Seed uint64 `json:"seed"`
+	// Breaker is the exact-rung breaker state after this request
+	// (closed, open, or half-open).
+	Breaker string `json:"breaker"`
+	// Elapsed is the server-side time spent producing the ranking.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// newPipelineRNG seeds the closure pipeline exactly as the public
+// Infer/CertifyRanking do, so a served ranking certifies against the
+// closure CertifyRanking(..., WithSeed(seed)) rebuilds.
+func newPipelineRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xd1342543de82ef95))
+}
+
+// newSearchRNG seeds the SAPS rung. It is deliberately a separate stream:
+// the closure cache means the smoothing draws are not re-consumed per
+// request, so SAPS determinism must not depend on pipeline stream
+// position.
+func newSearchRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// heldKarpEstimate guesses Held-Karp's runtime (O(2^n n^2) subset DP) at a
+// conservative throughput, so the uncancellable exact rung is only entered
+// when the budget clearly covers it.
+func heldKarpEstimate(n int) time.Duration {
+	const opsPerSecond = 200e6
+	ops := float64(n) * float64(n) * math.Pow(2, float64(n))
+	return time.Duration(ops / opsPerSecond * float64(time.Second))
+}
+
+// Rank is RankContext under the configured default deadline.
+func (s *Server) Rank() (*RankResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultDeadline)
+	defer cancel()
+	return s.RankContext(ctx)
+}
+
+// RankContext serves a ranking within ctx's deadline by walking the
+// degradation ladder: exact search (Held-Karp up to ExactLimit objects,
+// branch-and-bound beyond) when the breaker is closed and the budget
+// affords it, SAPS annealing when it does not, and the greedy tournament
+// order as the floor. An expired deadline is absorbed by degradation — the
+// call still returns a ranking; only an explicit cancellation (client
+// gone) or a broken pipeline returns an error.
+func (s *Server) RankContext(ctx context.Context) (*RankResult, error) {
+	start := time.Now()
+	if s.closing.Load() {
+		return nil, errShuttingDown
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closing.Load() {
+		return nil, errShuttingDown
+	}
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err // cancelled outright; nobody is waiting for an answer
+	}
+
+	votes, gen := s.snapshot()
+	res := &RankResult{Votes: len(votes), Seed: s.cfg.Seed}
+	finish := func(path []int, logProb float64) (*RankResult, error) {
+		// Stage-boundary assertion (no-op unless built with
+		// -tags crowdrank_invariants): every rung must return a
+		// permutation.
+		invariant.CheckRanking(s.cfg.N, path)
+		res.Ranking = path
+		res.LogProb = logProb
+		res.Breaker = s.breaker.state()
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	if len(votes) == 0 {
+		res.Algorithm = AlgoUninformed
+		identity := make([]int, s.cfg.N)
+		for i := range identity {
+			identity[i] = i
+		}
+		return finish(identity, 0)
+	}
+
+	closure, err := s.closure(votes, gen)
+	if err != nil {
+		return nil, err
+	}
+	const obj = search.ObjectiveAllPairs
+	deadline, hasDeadline := ctx.Deadline()
+	remaining := func() time.Duration {
+		if !hasDeadline {
+			return time.Hour
+		}
+		return time.Until(deadline)
+	}
+
+	// Rung 1: exact search. Decide affordability before consulting the
+	// breaker so a half-open probe slot is never claimed and then wasted
+	// on a budget skip.
+	useHeldKarp := s.cfg.N <= s.cfg.ExactLimit
+	exactBudget := time.Duration(float64(remaining()) * s.cfg.ExactFraction)
+	affordable := exactBudget >= s.cfg.MinRungBudget
+	if useHeldKarp && hasDeadline {
+		// Held-Karp cannot be cancelled mid-flight; require the budget to
+		// clearly cover its estimated cost.
+		affordable = exactBudget > 2*heldKarpEstimate(s.cfg.N)
+	}
+	if affordable && s.breaker.allow() {
+		if useHeldKarp {
+			if sr, err := search.HeldKarp(closure, 0, obj); err == nil {
+				s.breaker.success()
+				res.Algorithm = AlgoExactHeldKarp
+				return finish(sr.Path, sr.LogProb)
+			}
+			// Structurally impossible on a complete closure, but resolve
+			// the breaker (and any probe) rather than wedge it.
+			s.breaker.failure()
+			res.Degraded = true
+		} else {
+			exactCtx, cancel := ctx, context.CancelFunc(func() {})
+			if hasDeadline {
+				exactCtx, cancel = context.WithTimeout(ctx, exactBudget)
+			}
+			sr, err := search.BranchAndBoundContext(exactCtx, closure, search.BranchAndBoundParams{})
+			cancel()
+			if err == nil {
+				s.breaker.success()
+				res.Algorithm = AlgoExactBranchBound
+				return finish(sr.Path, sr.LogProb)
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
+				return nil, ctxErr
+			}
+			// Deadline overrun or a cycle-heavy instance branch-and-bound
+			// refuses: either way this instance is not answering exactly
+			// at this budget, which is what the breaker tracks.
+			s.breaker.failure()
+			res.Degraded = true
+		}
+	} else {
+		res.Degraded = true // exact skipped: unaffordable or breaker open
+	}
+
+	// Rung 2: SAPS annealing under what is left of the deadline.
+	if rem := remaining(); rem >= s.cfg.MinRungBudget {
+		sapsCtx, cancel := ctx, context.CancelFunc(func() {})
+		if hasDeadline {
+			sapsCtx, cancel = context.WithTimeout(ctx, time.Duration(float64(rem)*s.cfg.SAPSFraction))
+		}
+		params := search.DefaultSAPSParams()
+		params.Objective = obj
+		params.Parallelism = s.cfg.Parallelism
+		sr, err := search.SAPSContext(sapsCtx, closure, params, newSearchRNG(s.cfg.Seed))
+		cancel()
+		if err == nil {
+			res.Algorithm = AlgoSAPS
+			return finish(sr.Path, sr.LogProb)
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
+			return nil, ctxErr
+		}
+	}
+
+	// Rung 3: greedy tournament order — the floor that answers even after
+	// the deadline has expired.
+	sr, err := search.Greedy(closure, obj)
+	if err != nil {
+		return nil, fmt.Errorf("serve: greedy floor failed: %w", err)
+	}
+	res.Algorithm = AlgoGreedy
+	res.Degraded = true
+	return finish(sr.Path, sr.LogProb)
+}

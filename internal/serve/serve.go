@@ -1,0 +1,492 @@
+// Package serve implements the crowdrankd ranking daemon: crash-safe vote
+// ingestion over a write-ahead journal (internal/journal) and on-demand
+// ranking with deadline-aware degradation.
+//
+// The paper's non-interactive setting makes collected votes irreplaceable:
+// the budget B is spent in one round, so a crash that loses delivered
+// answers loses money. The daemon therefore acknowledges an ingest only
+// after the batch is durable in the journal, and recovery replays the
+// journal to rebuild exactly the acknowledged state — a torn or corrupted
+// tail is detected, reported, and truncated rather than silently replayed.
+//
+// Rank requests carry deadlines and degrade down a ladder instead of
+// failing: an exact searcher (Held-Karp for small n, branch-and-bound
+// beyond) when the budget allows, the paper's SAPS annealer when it does
+// not, and a greedy tournament order as the floor that answers even after
+// the deadline has effectively expired. A circuit breaker trips the exact
+// rung after repeated deadline overruns and probes it again (half-open)
+// after a cooldown, so chronically slow instances stop paying for doomed
+// exact attempts.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdrank/internal/core"
+	"crowdrank/internal/crowd"
+	"crowdrank/internal/feq"
+	"crowdrank/internal/graph"
+	"crowdrank/internal/journal"
+)
+
+// Config configures the daemon. Zero-valued fields take the documented
+// defaults; N and M are mandatory. DefaultConfig fills everything in.
+type Config struct {
+	// N is the number of objects being ranked; M the worker-pool size.
+	// Votes outside [0, N) x [0, M) are dropped at ingest.
+	N, M int
+
+	// JournalPath is the write-ahead journal file; empty runs the daemon
+	// in-memory only (acknowledged batches die with the process — tests
+	// and throwaway experiments only).
+	JournalPath string
+	// JournalSync selects the append durability policy (default
+	// journal.SyncAlways: fsync before every ack).
+	JournalSync journal.SyncPolicy
+
+	// Seed drives smoothing and SAPS, making served rankings reproducible
+	// and certifiable (pass it to CertifyRanking). 0 draws a time-derived
+	// seed at startup; the effective seed is reported in every response.
+	Seed uint64
+	// Parallelism fans SAPS starts and propagation walks over this many
+	// goroutines; 0 or 1 is sequential.
+	Parallelism int
+
+	// ExactLimit is the largest n solved with Held-Karp on the exact rung;
+	// beyond it the rung uses branch-and-bound. Default 16.
+	ExactLimit int
+	// ExactFraction and SAPSFraction apportion the remaining deadline to
+	// the exact and SAPS rungs (each in (0, 1)); whatever is left after a
+	// rung fails flows to the next. Defaults 0.5 and 0.8.
+	ExactFraction float64
+	SAPSFraction  float64
+	// MinRungBudget is the smallest remaining budget worth starting a
+	// cancellable rung with; below it the ladder falls straight to greedy.
+	// Default 2ms.
+	MinRungBudget time.Duration
+
+	// DefaultDeadline applies to rank requests that carry none; deadlines
+	// are clamped to MaxDeadline. Defaults 2s and 60s.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// MaxBatchVotes caps one ingest batch (HTTP 413 beyond). Default 65536.
+	MaxBatchVotes int
+	// MaxConcurrentRanks and MaxConcurrentIngests bound the request
+	// queues; excess requests get HTTP 429 with Retry-After. Defaults 4
+	// and 64.
+	MaxConcurrentRanks   int
+	MaxConcurrentIngests int
+
+	// BreakerThreshold consecutive exact-rung deadline overruns open the
+	// circuit breaker; BreakerCooldown later a single half-open probe may
+	// close it again. Defaults 3 and 30s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the daemon configuration for n objects and m
+// workers with every default made explicit.
+func DefaultConfig(n, m int) Config {
+	return Config{
+		N:                    n,
+		M:                    m,
+		JournalSync:          journal.SyncAlways,
+		ExactLimit:           16,
+		ExactFraction:        0.5,
+		SAPSFraction:         0.8,
+		MinRungBudget:        2 * time.Millisecond,
+		DefaultDeadline:      2 * time.Second,
+		MaxDeadline:          60 * time.Second,
+		MaxBatchVotes:        65536,
+		MaxConcurrentRanks:   4,
+		MaxConcurrentIngests: 64,
+		BreakerThreshold:     3,
+		BreakerCooldown:      30 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields and validates the result.
+func (c Config) withDefaults() (Config, error) {
+	d := DefaultConfig(c.N, c.M)
+	if c.ExactLimit == 0 {
+		c.ExactLimit = d.ExactLimit
+	}
+	if feq.Zero(c.ExactFraction) {
+		c.ExactFraction = d.ExactFraction
+	}
+	if feq.Zero(c.SAPSFraction) {
+		c.SAPSFraction = d.SAPSFraction
+	}
+	if c.MinRungBudget == 0 {
+		c.MinRungBudget = d.MinRungBudget
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = d.DefaultDeadline
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = d.MaxDeadline
+	}
+	if c.MaxBatchVotes == 0 {
+		c.MaxBatchVotes = d.MaxBatchVotes
+	}
+	if c.MaxConcurrentRanks == 0 {
+		c.MaxConcurrentRanks = d.MaxConcurrentRanks
+	}
+	if c.MaxConcurrentIngests == 0 {
+		c.MaxConcurrentIngests = d.MaxConcurrentIngests
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = d.BreakerThreshold
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.Seed == 0 {
+		c.Seed = uint64(time.Now().UnixNano())
+	}
+	switch {
+	case c.N < 1:
+		return c, fmt.Errorf("serve: need at least one object, got N=%d", c.N)
+	case c.M < 1:
+		return c, fmt.Errorf("serve: need at least one worker, got M=%d", c.M)
+	case c.ExactFraction <= 0 || c.ExactFraction >= 1:
+		return c, fmt.Errorf("serve: ExactFraction %v outside (0,1)", c.ExactFraction)
+	case c.SAPSFraction <= 0 || c.SAPSFraction >= 1:
+		return c, fmt.Errorf("serve: SAPSFraction %v outside (0,1)", c.SAPSFraction)
+	case c.ExactLimit < 1:
+		return c, fmt.Errorf("serve: ExactLimit %d must be >= 1", c.ExactLimit)
+	case c.MaxBatchVotes < 1 || c.MaxConcurrentRanks < 1 || c.MaxConcurrentIngests < 1:
+		return c, fmt.Errorf("serve: batch and queue bounds must be >= 1")
+	case c.BreakerThreshold < 1 || c.BreakerCooldown < 0:
+		return c, fmt.Errorf("serve: breaker threshold must be >= 1 and cooldown non-negative")
+	case c.DefaultDeadline < 0 || c.MaxDeadline <= 0 || c.MinRungBudget < 0:
+		return c, fmt.Errorf("serve: deadlines must be positive")
+	}
+	return c, nil
+}
+
+// submissionKey canonicalizes one (worker, pair, answer) submission so a
+// re-submission with swapped object order still collides — the same
+// dedup rule lenient Infer applies via SanitizeVotes.
+type submissionKey struct {
+	worker     int
+	lo, hi     int
+	prefersLow bool
+}
+
+func keyOf(v crowd.Vote) submissionKey {
+	lo, hi, prefersLow := v.I, v.J, v.PrefersI
+	if lo > hi {
+		lo, hi = hi, lo
+		prefersLow = !prefersLow
+	}
+	return submissionKey{worker: v.Worker, lo: lo, hi: hi, prefersLow: prefersLow}
+}
+
+// Server is the daemon engine: journaled vote state plus the degradation
+// ladder. Create with New or NewContext, serve HTTP via Handler, and stop
+// with Close.
+type Server struct {
+	cfg       Config
+	jnl       *journal.Journal // nil when running in-memory
+	recovered journal.ReplayStats
+	logf      func(string, ...any)
+
+	mu        sync.RWMutex
+	votes     []crowd.Vote
+	seen      map[submissionKey]bool
+	gen       uint64 // bumped whenever votes change; keys the closure cache
+	batches   int    // journal records acknowledged or replayed
+	dupVotes  int    // exact duplicates suppressed by apply
+	malformed int    // votes dropped at ingest since start (not journaled)
+
+	closureMu sync.Mutex
+	cacheGen  uint64
+	cache     *graph.PreferenceGraph
+
+	breaker   *breaker
+	rankSem   chan struct{}
+	ingestSem chan struct{}
+
+	// closeMu is held shared by every in-flight ingest/rank and
+	// exclusively by Close, so shutdown drains in-flight work before the
+	// final journal sync. closing makes new requests fail fast instead of
+	// queueing behind the pending writer lock.
+	closeMu sync.RWMutex
+	closing atomic.Bool
+}
+
+// New is NewContext with a background context.
+func New(cfg Config) (*Server, error) {
+	return NewContext(context.Background(), cfg)
+}
+
+// NewContext validates cfg, opens (and replays) the journal, and returns a
+// ready server. Replaying a large journal honors ctx: cancellation aborts
+// recovery with ctx's error and leaves the journal untouched.
+func NewContext(ctx context.Context, cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		logf:      cfg.Logf,
+		seen:      make(map[submissionKey]bool),
+		breaker:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		rankSem:   make(chan struct{}, cfg.MaxConcurrentRanks),
+		ingestSem: make(chan struct{}, cfg.MaxConcurrentIngests),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if cfg.JournalPath != "" {
+		jnl, stats, err := journal.Open(cfg.JournalPath, journal.Options{Sync: cfg.JournalSync}, func(payload []byte) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			votes, _, err := decodeBatch(payload, cfg.N, cfg.M)
+			if err != nil {
+				// A record that passed its checksum but does not decode is
+				// a foreign or incompatible journal — refuse to serve from
+				// it rather than guess.
+				return fmt.Errorf("serve: undecodable batch: %w", err)
+			}
+			s.apply(votes)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		s.recovered = stats
+		if stats.Truncated() {
+			s.logf("journal %s: truncated torn tail (%d bytes): %s",
+				cfg.JournalPath, stats.TruncatedBytes, stats.TailError)
+		}
+		s.logf("journal %s: recovered %d batches, %d votes",
+			cfg.JournalPath, stats.Records, len(s.votes))
+	}
+	return s, nil
+}
+
+// apply folds one validated batch into the in-memory state, suppressing
+// exact duplicate submissions, and returns what was added. Both live
+// ingest and journal replay go through apply, so recovery rebuilds the
+// identical vote set.
+func (s *Server) apply(votes []crowd.Vote) (added, dups int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range votes {
+		k := keyOf(v)
+		if s.seen[k] {
+			dups++
+			continue
+		}
+		s.seen[k] = true
+		s.votes = append(s.votes, v)
+		added++
+	}
+	s.batches++
+	s.dupVotes += dups
+	if added > 0 {
+		s.gen++
+	}
+	return added, dups
+}
+
+// Ingest validates, journals, and applies one vote batch; it is the
+// library form of POST /votes. A nil error means the batch is durable
+// (fsynced under journal.SyncAlways) and will survive a crash.
+func (s *Server) Ingest(votes []crowd.Vote) (IngestResult, error) {
+	return s.IngestContext(context.Background(), votes)
+}
+
+// IngestContext is Ingest honoring ctx up to the durability point: a batch
+// cancelled before the journal append is refused with ctx's error and
+// nothing is written. Once the append starts the batch commits atomically
+// — there is no cancelling a half-fsynced record — so a ctx that expires
+// later does not un-acknowledge it.
+func (s *Server) IngestContext(ctx context.Context, votes []crowd.Vote) (IngestResult, error) {
+	var res IngestResult
+	if s.closing.Load() {
+		return res, errShuttingDown
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closing.Load() {
+		return res, errShuttingDown
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if len(votes) > s.cfg.MaxBatchVotes {
+		return res, fmt.Errorf("serve: batch of %d votes exceeds cap %d: %w", len(votes), s.cfg.MaxBatchVotes, errBatchTooLarge)
+	}
+	valid := make([]crowd.Vote, 0, len(votes))
+	for _, v := range votes {
+		if v.Validate(s.cfg.N, s.cfg.M) != nil {
+			res.Malformed++
+			continue
+		}
+		valid = append(valid, v)
+	}
+	s.mu.Lock()
+	s.malformed += res.Malformed
+	s.mu.Unlock()
+	if len(valid) == 0 {
+		res.TotalVotes = s.VoteCount()
+		return res, nil
+	}
+	// Last chance to honor cancellation: past this point the batch
+	// commits.
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Append(encodeBatch(valid)); err != nil {
+			return res, fmt.Errorf("serve: journaling batch: %w", err)
+		}
+	}
+	res.Accepted, res.Duplicates = s.apply(valid)
+	s.mu.RLock()
+	res.Seq = s.batches
+	res.TotalVotes = len(s.votes)
+	s.mu.RUnlock()
+	return res, nil
+}
+
+// IngestResult describes one acknowledged batch.
+type IngestResult struct {
+	// Accepted counts votes added to the state; Duplicates exact
+	// re-submissions suppressed; Malformed votes dropped at validation.
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	Malformed  int `json:"malformed"`
+	// Seq is the journal sequence number of this batch (records appended
+	// or replayed so far).
+	Seq int `json:"seq"`
+	// TotalVotes is the state size after this batch.
+	TotalVotes int `json:"total_votes"`
+}
+
+// snapshot returns the current vote slice and its generation. The slice is
+// append-only, so sharing the backing array with concurrent appends is
+// safe: a later append either fits capacity (beyond our length) or
+// reallocates.
+func (s *Server) snapshot() ([]crowd.Vote, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.votes[:len(s.votes):len(s.votes)], s.gen
+}
+
+// closure returns the Step 1-3 transitive closure of the current votes,
+// cached per state generation so repeated rank requests over unchanged
+// state skip the pipeline prefix entirely.
+func (s *Server) closure(votes []crowd.Vote, gen uint64) (*graph.PreferenceGraph, error) {
+	s.closureMu.Lock()
+	defer s.closureMu.Unlock()
+	if s.cache != nil && s.cacheGen == gen {
+		return s.cache, nil
+	}
+	opts := core.DefaultOptions()
+	opts.SAPS.Parallelism = s.cfg.Parallelism
+	opts.Propagate.Parallelism = s.cfg.Parallelism
+	rng := newPipelineRNG(s.cfg.Seed)
+	cl, err := core.BuildClosure(s.cfg.N, s.cfg.M, votes, opts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building closure: %w", err)
+	}
+	s.cache = cl.Closure
+	s.cacheGen = gen
+	return s.cache, nil
+}
+
+// VoteCount returns the deduplicated vote count.
+func (s *Server) VoteCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.votes)
+}
+
+// Stats is a point-in-time operational snapshot, served on /healthz.
+type Stats struct {
+	Objects    int    `json:"objects"`
+	Workers    int    `json:"workers"`
+	Votes      int    `json:"votes"`
+	Batches    int    `json:"batches"`
+	Duplicates int    `json:"duplicates"`
+	Malformed  int    `json:"malformed"`
+	Seed       uint64 `json:"seed"`
+	Breaker    string `json:"breaker"`
+	Journal    string `json:"journal,omitempty"`
+	// Recovered describes the last journal replay.
+	RecoveredBatches int   `json:"recovered_batches"`
+	TruncatedBytes   int64 `json:"truncated_bytes"`
+	Closing          bool  `json:"closing"`
+}
+
+// StatsSnapshot assembles the current Stats.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.RLock()
+	st := Stats{
+		Objects:          s.cfg.N,
+		Workers:          s.cfg.M,
+		Votes:            len(s.votes),
+		Batches:          s.batches,
+		Duplicates:       s.dupVotes,
+		Malformed:        s.malformed,
+		Seed:             s.cfg.Seed,
+		RecoveredBatches: s.recovered.Records,
+		TruncatedBytes:   s.recovered.TruncatedBytes,
+		Closing:          s.closing.Load(),
+	}
+	s.mu.RUnlock()
+	st.Breaker = s.breaker.state()
+	if s.jnl != nil {
+		st.Journal = s.jnl.Path()
+	}
+	return st
+}
+
+// Recovered reports the journal replay performed at startup.
+func (s *Server) Recovered() journal.ReplayStats { return s.recovered }
+
+// Seed returns the effective pipeline seed (drawn at startup when the
+// config left it 0). Pass it to CertifyRanking to certify served rankings.
+func (s *Server) Seed() uint64 { return s.cfg.Seed }
+
+// errShuttingDown is returned by requests that arrive during Close;
+// errBatchTooLarge by batches over MaxBatchVotes. The HTTP layer maps them
+// to 503 and 413.
+var (
+	errShuttingDown  = fmt.Errorf("serve: server is shutting down")
+	errBatchTooLarge = fmt.Errorf("serve: batch exceeds MaxBatchVotes")
+)
+
+// Close drains in-flight work and performs the final journal sync. After
+// Close, ingest and rank requests fail fast (HTTP 503); Close is
+// idempotent.
+func (s *Server) Close() error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	// Wait for every in-flight ingest and inference to release its shared
+	// lock, then close (and thereby sync) the journal.
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.jnl != nil {
+		if err := s.jnl.Close(); err != nil {
+			return fmt.Errorf("serve: closing journal: %w", err)
+		}
+	}
+	return nil
+}

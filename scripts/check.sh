@@ -25,6 +25,9 @@ go build ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== chaos: SIGKILL mid-ingest recovery =="
+go test -count=1 -run 'TestChaos' ./internal/serve
+
 echo "== go test -tags crowdrank_invariants ./... =="
 go test -tags crowdrank_invariants ./...
 

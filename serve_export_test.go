@@ -1,0 +1,60 @@
+package crowdrank_test
+
+import (
+	"testing"
+
+	"crowdrank"
+)
+
+// TestRankServerCertifiable: a daemon-served ranking certifies against the
+// closure CertifyRanking rebuilds under the server's seed — the public
+// contract documented on RankServer.
+func TestRankServerCertifiable(t *testing.T) {
+	const n, m = 6, 3
+	cfg := crowdrank.DefaultServeConfig(n, m)
+	cfg.Seed = 99
+	srv, err := crowdrank.NewRankServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	}()
+
+	var votes []crowdrank.Vote
+	for w := 0; w < m; w++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				votes = append(votes, crowdrank.Vote{Worker: w, I: i, J: j, PrefersI: true})
+			}
+		}
+	}
+	ack, err := crowdrank.IngestVotes(srv, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != len(votes) {
+		t.Fatalf("want %d accepted, got %+v", len(votes), ack)
+	}
+
+	res, err := srv.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 99 {
+		t.Fatalf("response should report the configured seed, got %d", res.Seed)
+	}
+	cert, err := crowdrank.CertifyRanking(n, m, votes, res.Ranking, crowdrank.WithSeed(res.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Gap < 0 {
+		t.Fatalf("certificate gap must be non-negative, got %v", cert.Gap)
+	}
+	// An exact-rung answer must certify as optimal on its own closure.
+	if res.Algorithm == "exact:heldkarp" && cert.Gap > 1e-6 {
+		t.Fatalf("exact answer should certify optimal, gap %v", cert.Gap)
+	}
+}
