@@ -6,6 +6,7 @@
 //
 //	crowdrankd -n 100 -m 30 -journal votes.wal [-addr :8077] [-seed S]
 //	           [-fsync always|os] [-parallelism P] [-exact-limit K]
+//	           [-snapshot-every N] [-max-journal-bytes M]
 //	           [-drain 10s] [-addr-file path]
 //
 // Endpoints:
@@ -13,13 +14,19 @@
 //	POST /votes      {"votes":[{"worker":0,"i":3,"j":7,"prefers_i":true}]}
 //	GET  /rank       ?deadline_ms=50 bounds inference; degraded answers
 //	                 still return 200 and name the algorithm used
-//	GET  /healthz    operational stats
-//	GET  /readyz     503 once shutdown has begun
+//	POST /snapshot   take a state snapshot now and compact the journal
+//	GET  /healthz    operational stats (journal/snapshot disk usage,
+//	                 segment count, last snapshot, last sync error)
+//	GET  /readyz     503 once shutdown has begun or a disk fault has
+//	                 poisoned the journal
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops, in-flight
 // requests drain (bounded by -drain), and the journal is synced and closed.
-// On restart the journal is replayed; every acknowledged batch is
-// recovered, and a torn tail from a crash is truncated and reported.
+// On restart the newest valid snapshot is loaded and only the journal
+// segments past it replay; every acknowledged batch is recovered, and a
+// torn tail from a crash is truncated and reported. A journal directory
+// that is not writable refuses startup with a non-zero exit instead of
+// failing on the first ingest.
 package main
 
 import (
@@ -53,9 +60,11 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
 	n := fs.Int("n", 0, "number of objects being ranked (required)")
 	m := fs.Int("m", 0, "worker-pool size (required)")
-	journalPath := fs.String("journal", "", "write-ahead journal file (empty: in-memory, NOT crash-safe)")
+	journalPath := fs.String("journal", "", "write-ahead journal directory (empty: in-memory, NOT crash-safe)")
 	seed := fs.Uint64("seed", 0, "pipeline seed (0: drawn at startup)")
 	fsync := fs.String("fsync", "always", "journal durability: always (fsync per ack) | os (page cache)")
+	snapshotEvery := fs.Int("snapshot-every", 0, "snapshot+compact after this many acked batches (0: default 1024, negative: disable)")
+	maxJournalBytes := fs.Int64("max-journal-bytes", 0, "snapshot+compact when the journal exceeds this many bytes (0: default 64MiB, negative: disable)")
 	parallelism := fs.Int("parallelism", 0, "inference parallelism (0: sequential)")
 	exactLimit := fs.Int("exact-limit", 0, "largest n solved with Held-Karp (0: default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
@@ -70,6 +79,8 @@ func run(args []string, out io.Writer) error {
 	cfg := crowdrank.DefaultServeConfig(*n, *m)
 	cfg.JournalPath = *journalPath
 	cfg.Seed = *seed
+	cfg.SnapshotEveryBatches = *snapshotEvery
+	cfg.SnapshotMaxJournalBytes = *maxJournalBytes
 	cfg.Parallelism = *parallelism
 	if *exactLimit > 0 {
 		cfg.ExactLimit = *exactLimit
@@ -91,11 +102,13 @@ func run(args []string, out io.Writer) error {
 
 	srv, err := crowdrank.NewRankServer(cfg)
 	if err != nil {
+		// Among other refusals, an unwritable journal directory fails here
+		// — before the listener binds — so the exit code, not the first
+		// acked ingest, is what breaks.
 		return err
 	}
-	rec := srv.Recovered()
-	if rec.Records > 0 || rec.Truncated() {
-		fmt.Fprintf(out, "crowdrankd: recovered %d batches (%d votes) from journal\n", rec.Records, srv.VoteCount())
+	if *journalPath != "" {
+		fmt.Fprintf(out, "crowdrankd: recovery: %s (%d votes)\n", srv.Recovered(), srv.VoteCount())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

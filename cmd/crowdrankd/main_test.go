@@ -27,6 +27,31 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunRefusesUnwritableJournalDir pins the startup contract: a journal
+// directory the daemon cannot write to must fail run() (non-zero exit in
+// main) before the listener ever binds, not on the first acked ingest.
+func TestRunRefusesUnwritableJournalDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "5", "-m", "2",
+		"-addr", "127.0.0.1:0",
+		"-journal", filepath.Join(dir, "wal"),
+	}, &out)
+	if err == nil {
+		t.Fatal("run should refuse an unwritable journal directory")
+	}
+	if !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("error should name the unwritable directory, got: %v", err)
+	}
+}
+
 // TestDaemonLifecycle boots the daemon on an ephemeral port, ingests and
 // ranks over HTTP, then delivers SIGTERM and watches the graceful shutdown
 // reach the final journal sync.
@@ -107,6 +132,9 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "journal synced") {
 		t.Fatalf("shutdown should report the final journal sync; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "recovery: replayed 0 records from 1 segments (clean)") {
+		t.Fatalf("startup should log ReplayStats; output:\n%s", out.String())
 	}
 }
 

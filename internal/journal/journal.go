@@ -1,6 +1,8 @@
-// Package journal implements the ranking daemon's write-ahead log: an
-// append-only file of checksummed, length-prefixed records that makes
-// acknowledged vote batches durable across crashes.
+// Package journal implements the ranking daemon's write-ahead log: a
+// directory of rotated, append-only segment files of checksummed,
+// length-prefixed records that makes acknowledged vote batches durable
+// across crashes — and whose recovery cost is bounded by compaction
+// rather than proportional to lifetime ingest.
 //
 // The paper's setting makes the log load-bearing: a non-interactive round
 // spends the whole budget B in one posting, so votes the crowd already
@@ -10,47 +12,106 @@
 //
 // # On-disk format
 //
-//	8 bytes   magic + version ("CRWDWAL\x01")
+// A journal is a directory holding segment files named journal.000001,
+// journal.000002, ... (indices strictly increase; compaction deletes a
+// prefix and never renames). Each segment is:
+//
+//	8 bytes   magic + version ("CRWDSEG\x01")
+//	8 bytes   sequence number of the segment's first record, little-endian
 //	repeated records:
 //	  4 bytes  payload length, little-endian uint32
 //	  4 bytes  CRC32-Castagnoli of the payload, little-endian
 //	  N bytes  payload (opaque to this package)
 //
-// Replay walks records from the header until the file ends. A record that
-// cannot be read in full, claims an implausible length, or fails its
-// checksum is a torn tail: the crash interrupted an append. Replay stops at
-// the first such record, reports it, and truncates the file back to the
-// last valid boundary so the damage cannot masquerade as data on later
+// Records carry implicit global sequence numbers 0, 1, 2, ... assigned at
+// append time; the per-segment first-sequence header lets recovery resume
+// mid-stream after older segments have been compacted away, and lets Open
+// detect a gap (missing segment) instead of silently replaying a hole.
+//
+// The version-1 format — a single "CRWDWAL\x01" file — is migrated in
+// place on Open: the file becomes segment 1 of a directory at the same
+// path, with its implicit first sequence of 0.
+//
+// Replay walks segments in index order and records from each header until
+// the segment ends. A record that cannot be read in full, claims an
+// implausible length, or fails its checksum is a torn tail: the crash
+// interrupted an append. Replay stops at the first such record, reports
+// it, truncates the segment back to the last valid boundary, and deletes
+// any later segments so the damage cannot masquerade as data on later
 // opens. Corruption is never silently replayed and never panics — a
 // property fuzzed by FuzzJournalReplay in internal/serve.
+//
+// # Poisoning ("fsyncgate" semantics)
+//
+// A failed fsync may mean the kernel dropped dirty pages and cleared the
+// error: retrying the fsync can succeed while the data is gone. After any
+// failed write or sync on the append path, the journal therefore enters a
+// permanently poisoned state — every subsequent Append and Sync fails with
+// an error matching ErrPoisoned — instead of retrying and lying about
+// durability. The daemon surfaces this as a not-ready 503. The Faults seam
+// in Options exists to inject exactly these failures under test.
 package journal
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
-// fileMagic identifies a crowdrank journal; the final byte is the format
-// version.
-var fileMagic = []byte("CRWDWAL\x01")
+// segMagic identifies a crowdrank journal segment; the final byte is the
+// format version. v1Magic is the retired single-file format, still
+// accepted (and migrated) on Open.
+var (
+	segMagic = []byte("CRWDSEG\x01")
+	v1Magic  = []byte("CRWDWAL\x01")
+)
 
-// headerSize is the length of the file magic.
-const headerSize = 8
+// segHeaderSize is the segment prefix: 8-byte magic + 8-byte first
+// sequence number. v1HeaderSize is the old single-file prefix (magic
+// only; its first sequence is implicitly 0).
+const (
+	segHeaderSize = 16
+	v1HeaderSize  = 8
+)
 
 // recordHeaderSize is the per-record prefix: 4-byte length + 4-byte CRC.
 const recordHeaderSize = 8
+
+// segPrefix names segment files inside the journal directory.
+const segPrefix = "journal."
 
 // DefaultMaxRecord caps a single record's payload. A length prefix beyond
 // it is treated as corruption, bounding the allocation a torn or hostile
 // file can force during replay.
 const DefaultMaxRecord = 16 << 20
 
+// DefaultSegmentBytes is the rotation threshold: once the active segment
+// reaches it, the next append seals it and starts a fresh segment.
+const DefaultSegmentBytes = 64 << 20
+
 // castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrPoisoned marks a journal that has seen a failed write or fsync on its
+// append path. Durability can no longer be promised (the kernel may have
+// dropped the dirty pages that failed to sync), so every subsequent Append
+// and Sync fails with an error matching this sentinel.
+var ErrPoisoned = errors.New("journal poisoned by a prior disk fault")
+
+// ErrSeqGap marks an Open that found the on-disk segments starting after
+// the requested replay position: records in between are gone (compacted or
+// deleted), so the caller's state cannot be rebuilt from this journal
+// alone.
+var ErrSeqGap = errors.New("journal segments do not cover the requested replay position")
 
 // SyncPolicy selects when appends reach stable storage.
 type SyncPolicy int
@@ -78,13 +139,41 @@ func (p SyncPolicy) String() string {
 	}
 }
 
-// Options tunes Open. The zero value is usable: fsync on every append and
-// the default record-size cap.
+// Faults is the fault-injection seam: when non-nil hooks are installed,
+// they run in place of (Write) or before (Sync) the real syscall on the
+// append path. Production code leaves this nil; the chaos and poisoning
+// tests use it to simulate short writes and fsync failures without
+// needing a faulty disk.
+type Faults struct {
+	// Write, when non-nil, is consulted before each segment data write.
+	// It returns how many prefix bytes of buf actually reach the file and
+	// an error; (len(buf), nil) behaves like a healthy disk. A short
+	// count with a non-nil error simulates a torn write that the kernel
+	// surfaced.
+	Write func(buf []byte) (int, error)
+	// Sync, when non-nil, is consulted before each fsync of segment data;
+	// a non-nil error simulates a failed fsync (and the real fsync is
+	// skipped — after a sync failure the page state is unknowable).
+	Sync func() error
+}
+
+// Options tunes Open. The zero value is usable: fsync on every append,
+// the default record-size cap, and the default segment size.
 type Options struct {
 	// Sync selects the append durability policy.
 	Sync SyncPolicy
 	// MaxRecord caps a single payload's size; 0 means DefaultMaxRecord.
 	MaxRecord int
+	// SegmentBytes is the rotation threshold; 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// ReplayFrom skips records with sequence numbers below it during
+	// Open's replay (they are covered by a snapshot the caller already
+	// loaded). Open fails with ErrSeqGap if the surviving segments start
+	// after ReplayFrom.
+	ReplayFrom uint64
+	// Faults injects write/sync failures for tests; nil means a healthy
+	// disk.
+	Faults *Faults
 }
 
 func (o Options) maxRecord() int {
@@ -94,162 +183,604 @@ func (o Options) maxRecord() int {
 	return o.MaxRecord
 }
 
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
 // ReplayStats describes what Open found in an existing journal.
 type ReplayStats struct {
-	// Records is the number of valid records replayed.
-	Records int
-	// ValidBytes is the file offset of the last valid record boundary
-	// (header included).
-	ValidBytes int64
-	// TruncatedBytes counts bytes cut from a torn or corrupt tail; 0 means
-	// the file ended exactly on a record boundary.
+	// Records is the number of valid records replayed through the
+	// callback; SkippedRecords counts valid records below ReplayFrom that
+	// were scanned but not replayed (a snapshot already covers them).
+	Records        int
+	SkippedRecords int
+	// Segments is the number of live segment files scanned.
+	Segments int
+	// FirstSeq is the sequence number of the first record still on disk;
+	// NextSeq is the sequence the next append will get. NextSeq-FirstSeq
+	// is the number of live records.
+	FirstSeq uint64
+	NextSeq  uint64
+	// TruncatedBytes counts bytes cut from a torn or corrupt tail
+	// (including whole later segments dropped after a corrupt record);
+	// 0 means every segment ended exactly on a record boundary.
 	TruncatedBytes int64
-	// TailError describes why the tail was rejected; empty when the file
-	// was clean.
+	// DroppedSegments counts segment files deleted because they followed
+	// a corrupt record.
+	DroppedSegments int
+	// TailError describes why the tail was rejected; empty when the
+	// journal was clean.
 	TailError string
 }
 
 // Truncated reports whether Open had to cut a damaged tail.
 func (s ReplayStats) Truncated() bool { return s.TruncatedBytes > 0 }
 
+// String summarizes the replay for startup logs. The zero value reads
+// "replayed 0 records from 0 segments (clean)".
+func (s ReplayStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d records from %d segments", s.Records, s.Segments)
+	if s.SkippedRecords > 0 {
+		fmt.Fprintf(&b, " (skipped %d snapshot-covered)", s.SkippedRecords)
+	}
+	if s.Truncated() {
+		fmt.Fprintf(&b, ", truncated %d bytes", s.TruncatedBytes)
+		if s.DroppedSegments > 0 {
+			fmt.Fprintf(&b, " and dropped %d segments", s.DroppedSegments)
+		}
+		fmt.Fprintf(&b, ": %s", s.TailError)
+	} else {
+		b.WriteString(" (clean)")
+	}
+	return b.String()
+}
+
+// segment is one live segment file's metadata. Only the last segment is
+// open for appends; earlier ones are sealed and immutable.
+type segment struct {
+	index    uint64 // numeric filename suffix
+	path     string
+	firstSeq uint64
+	records  int
+	size     int64
+}
+
+// covered reports whether every record in the segment is below seq.
+func (s segment) covered(seq uint64) bool {
+	return s.firstSeq+uint64(s.records) <= seq
+}
+
 // Journal is an open write-ahead log. Append is safe for concurrent use.
 type Journal struct {
-	mu     sync.Mutex
-	f      *os.File
-	path   string
-	opts   Options
-	size   int64
-	closed bool
+	mu       sync.Mutex
+	dir      string
+	dirFile  *os.File // held open for directory fsyncs
+	opts     Options
+	segments []segment // ascending by index; last is active
+	active   *os.File
+	nextSeq  uint64
+	size     int64 // total bytes across live segments
+	poison   error // root cause; non-nil once poisoned
+	closed   bool
 }
 
-// Open opens or creates the journal at path, replays every valid record
-// through fn (which may be nil), truncates any torn tail, and leaves the
-// journal positioned for appends. The returned stats describe the replay
-// even when fn is nil.
+// Open opens or creates the journal directory at dir, replays every valid
+// record at or past opts.ReplayFrom through fn (which may be nil),
+// truncates any torn tail, and leaves the journal positioned for appends.
+// The returned stats describe the replay even when fn is nil.
 //
-// A non-nil error from fn aborts the open with that error and leaves the
-// file untouched. A file that exists but does not start with the journal
-// magic is refused outright — it is some other file, not a torn journal.
-func Open(path string, opts Options, fn func(payload []byte) error) (*Journal, ReplayStats, error) {
+// A version-1 single-file journal at dir is migrated into the directory
+// format first. A directory that is not writable is refused up front —
+// the daemon must fail at startup, not on its first ingest. A non-nil
+// error from fn aborts the open with that error and leaves the files
+// untouched. A segment that does not start with a journal magic is
+// refused outright — it is some other file, not a torn journal.
+func Open(dir string, opts Options, fn func(payload []byte) error) (*Journal, ReplayStats, error) {
 	var stats ReplayStats
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, stats, fmt.Errorf("journal: open %s: %w", path, err)
-	}
-	info, err := f.Stat()
-	if err != nil {
-		_ = f.Close()
-		return nil, stats, fmt.Errorf("journal: stat %s: %w", path, err)
-	}
-
-	if info.Size() == 0 {
-		// Fresh journal: write and persist the header before any append.
-		if _, err := f.Write(fileMagic); err != nil {
-			_ = f.Close()
-			return nil, stats, fmt.Errorf("journal: writing header: %w", err)
-		}
-		if err := f.Sync(); err != nil {
-			_ = f.Close()
-			return nil, stats, fmt.Errorf("journal: syncing header: %w", err)
-		}
-		stats.ValidBytes = headerSize
-		return &Journal{f: f, path: path, opts: opts, size: headerSize}, stats, nil
-	}
-
-	stats, err = scan(f, info.Size(), opts.maxRecord(), fn)
-	if err != nil {
-		_ = f.Close()
+	if err := migrateV1(dir); err != nil {
 		return nil, stats, err
 	}
-	if stats.Truncated() {
-		if err := f.Truncate(stats.ValidBytes); err != nil {
-			_ = f.Close()
-			return nil, stats, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
-		}
-		if err := f.Sync(); err != nil {
-			_ = f.Close()
-			return nil, stats, fmt.Errorf("journal: syncing after truncation: %w", err)
-		}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("journal: creating directory %s: %w", dir, err)
 	}
-	if _, err := f.Seek(stats.ValidBytes, io.SeekStart); err != nil {
-		_ = f.Close()
-		return nil, stats, fmt.Errorf("journal: seeking to append position: %w", err)
+	if err := probeWritable(dir); err != nil {
+		return nil, stats, err
 	}
-	return &Journal{f: f, path: path, opts: opts, size: stats.ValidBytes}, stats, nil
+	dirFile, err := os.Open(dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("journal: opening directory %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, dirFile: dirFile, opts: opts}
+	stats, err = j.scanSegments(fn)
+	if err != nil {
+		_ = dirFile.Close()
+		return nil, stats, err
+	}
+	if err := j.openActive(&stats); err != nil {
+		_ = dirFile.Close()
+		return nil, stats, err
+	}
+	stats.NextSeq = j.nextSeq
+	return j, stats, nil
 }
 
-// scan validates the header and walks records, invoking fn on each valid
-// payload. It distinguishes torn tails (reported in stats, not an error)
-// from unusable files and callback failures (errors).
-func scan(r io.ReadSeeker, size int64, maxRecord int, fn func([]byte) error) (ReplayStats, error) {
+// migrateV1 converts a version-1 single-file journal at path into the
+// directory format: the file becomes <path>/journal.000001. The dance is
+// crash-safe: a crash between the renames leaves a <path>.v1migrate file
+// that the next Open resumes from.
+func migrateV1(path string) error {
+	staging := path + ".v1migrate"
+	if info, err := os.Stat(path); err == nil && info.Mode().IsRegular() {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("journal: inspecting %s: %w", path, err)
+		}
+		header := make([]byte, v1HeaderSize)
+		_, readErr := io.ReadFull(f, header)
+		_ = f.Close()
+		if readErr != nil || string(header) != string(v1Magic) {
+			return fmt.Errorf("journal: %s is a file but not a v1 journal; refusing to replace it", path)
+		}
+		if err := os.Rename(path, staging); err != nil {
+			return fmt.Errorf("journal: staging v1 migration: %w", err)
+		}
+	}
+	if _, err := os.Stat(staging); err != nil {
+		return nil // no migration pending
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("journal: creating directory for v1 migration: %w", err)
+	}
+	if err := os.Rename(staging, filepath.Join(path, segName(1))); err != nil {
+		return fmt.Errorf("journal: completing v1 migration: %w", err)
+	}
+	return syncDirOnce(path)
+}
+
+// probeWritable proves the journal directory accepts file creation now,
+// so a read-only volume fails the daemon at startup instead of on the
+// first acknowledged ingest.
+func probeWritable(dir string) error {
+	probe := filepath.Join(dir, ".probe.tmp")
+	f, err := os.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: directory %s is not writable: %w", dir, err)
+	}
+	_, writeErr := f.Write([]byte{1})
+	closeErr := f.Close()
+	removeErr := os.Remove(probe)
+	if writeErr != nil {
+		return fmt.Errorf("journal: directory %s is not writable: %w", dir, writeErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("journal: directory %s probe close: %w", dir, closeErr)
+	}
+	if removeErr != nil {
+		return fmt.Errorf("journal: directory %s probe cleanup: %w", dir, removeErr)
+	}
+	return nil
+}
+
+// segName formats a segment filename for index.
+func segName(index uint64) string {
+	return fmt.Sprintf("%s%06d", segPrefix, index)
+}
+
+// listSegments returns the segment files under dir, ascending by index.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading directory %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimPrefix(name, segPrefix), 10, 64)
+		if err != nil {
+			continue // not a segment (e.g. a stray journal.tmp)
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("journal: stat %s: %w", name, err)
+		}
+		segs = append(segs, segment{index: idx, path: filepath.Join(dir, name), size: info.Size()})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].index < segs[b].index })
+	return segs, nil
+}
+
+// scanSegments replays every live segment in order, truncating the first
+// damaged record and deleting everything after it. It populates
+// j.segments, j.nextSeq, and j.size.
+func (j *Journal) scanSegments(fn func([]byte) error) (ReplayStats, error) {
 	var stats ReplayStats
-	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return stats, fmt.Errorf("journal: seek: %w", err)
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return stats, err
 	}
-	header := make([]byte, headerSize)
-	if _, err := io.ReadFull(r, header); err != nil {
-		return stats, fmt.Errorf("journal: file too short for header (%d bytes): not a journal", size)
+	expect := uint64(0) // next segment must start here; first segment sets it
+	damaged := -1       // index into segs of the first damaged segment
+	for i := range segs {
+		seg := &segs[i]
+		res, err := scanSegment(seg.path, seg.size, j.opts.maxRecord(), i == 0, expect, j.opts.ReplayFrom, fn)
+		if err != nil {
+			return stats, err
+		}
+		if i == 0 {
+			stats.FirstSeq = res.firstSeq
+			if j.opts.ReplayFrom < res.firstSeq {
+				return stats, fmt.Errorf("journal: %s starts at seq %d, replay needs seq %d: %w",
+					seg.path, res.firstSeq, j.opts.ReplayFrom, ErrSeqGap)
+			}
+		}
+		seg.firstSeq = res.firstSeq
+		seg.records = res.records
+		stats.Records += res.replayed
+		stats.SkippedRecords += res.skipped
+		stats.Segments++
+		expect = res.firstSeq + uint64(res.records)
+		if res.tailError != "" {
+			stats.TailError = fmt.Sprintf("%s: %s", filepath.Base(seg.path), res.tailError)
+			stats.TruncatedBytes += seg.size - res.validBytes
+			if err := truncateSegment(seg, res.validBytes); err != nil {
+				return stats, err
+			}
+			damaged = i
+			break
+		}
 	}
-	if string(header) != string(fileMagic) {
-		return stats, fmt.Errorf("journal: bad magic %q: not a crowdrank journal", header)
+	if damaged >= 0 {
+		// Records past a damaged one cannot be trusted to be the ones that
+		// were acknowledged; drop the later segments and report every byte.
+		for _, seg := range segs[damaged+1:] {
+			stats.TruncatedBytes += seg.size
+			stats.DroppedSegments++
+			if err := os.Remove(seg.path); err != nil {
+				return stats, fmt.Errorf("journal: dropping post-corruption segment %s: %w", seg.path, err)
+			}
+		}
+		segs = segs[:damaged+1]
+		if err := j.syncDir(); err != nil {
+			return stats, err
+		}
+	}
+	// A fully-truncated trailing segment (a crash landed between creating
+	// the file and completing its header, and repair removed it) holds no
+	// records; drop it from the live set so the previous segment becomes
+	// active again. The file itself is already gone — truncateSegment
+	// removes a segment with no valid prefix — so only tolerate
+	// already-removed paths here.
+	for len(segs) > 1 {
+		last := segs[len(segs)-1]
+		if last.records > 0 || last.size > 0 {
+			break
+		}
+		if err := os.Remove(last.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return stats, fmt.Errorf("journal: removing empty trailing segment %s: %w", last.path, err)
+		}
+		stats.Segments--
+		segs = segs[:len(segs)-1]
+	}
+	j.segments = segs
+	j.nextSeq = expect
+	for _, s := range segs {
+		j.size += s.size
+	}
+	if len(segs) == 0 {
+		j.nextSeq = j.opts.ReplayFrom
+		stats.FirstSeq = j.opts.ReplayFrom
+	}
+	return stats, nil
+}
+
+// segScan is the per-segment result of scanSegment.
+type segScan struct {
+	firstSeq   uint64
+	records    int
+	replayed   int
+	skipped    int
+	validBytes int64
+	tailError  string
+}
+
+// scanSegment validates one segment's header and walks its records,
+// invoking fn on each valid payload at or past replayFrom. first marks
+// the journal's first live segment (the only place a v1 header or an
+// unconstrained firstSeq is legal); expect is the sequence the segment
+// must start at otherwise.
+func scanSegment(path string, size int64, maxRecord int, first bool, expect, replayFrom uint64, fn func([]byte) error) (segScan, error) {
+	var res segScan
+	f, err := os.Open(path)
+	if err != nil {
+		return res, fmt.Errorf("journal: open segment %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+
+	header := make([]byte, segHeaderSize)
+	n, err := io.ReadFull(f, header)
+	got := header[:n]
+	// A header prefix torn mid-write (a crash while creating the segment)
+	// is repairable damage; anything else in the first segment means this
+	// is not a journal at all and must be refused, never "repaired".
+	torn := n < segHeaderSize && (bytes.HasPrefix(segMagic, got) ||
+		(n > v1HeaderSize && string(got[:v1HeaderSize]) == string(segMagic)))
+	switch {
+	case n >= v1HeaderSize && string(got[:v1HeaderSize]) == string(v1Magic):
+		// v1 segment: magic only, records start right after. Only ever
+		// produced by migration, so it is segment 1 and starts at seq 0.
+		if !first {
+			res.firstSeq = expect
+			res.tailError = "v1 header in a non-first segment"
+			return res, nil
+		}
+		res.firstSeq = 0
+		res.validBytes = v1HeaderSize
+		if _, err := f.Seek(v1HeaderSize, io.SeekStart); err != nil {
+			return res, fmt.Errorf("journal: seek %s: %w", path, err)
+		}
+	case err == nil && string(got[:v1HeaderSize]) == string(segMagic):
+		res.firstSeq = binary.LittleEndian.Uint64(got[v1HeaderSize:])
+		res.validBytes = segHeaderSize
+		if !first && res.firstSeq != expect {
+			res.tailError = fmt.Sprintf("segment starts at seq %d, expected %d", res.firstSeq, expect)
+			res.firstSeq = expect
+			res.validBytes = 0
+			return res, nil
+		}
+	case first && size > 0 && !torn:
+		return res, fmt.Errorf("journal: %s has no journal magic: not a crowdrank journal", path)
+	default:
+		// A short or foreign header on a later segment — or a torn header
+		// anywhere — is a crash mid-rotation: no records exist yet, so the
+		// file is removed and recreated rather than replayed.
+		res.firstSeq = expect
+		res.validBytes = 0
+		res.tailError = fmt.Sprintf("short or foreign segment header (%d bytes)", n)
+		return res, nil
 	}
 
-	offset := int64(headerSize)
-	stats.ValidBytes = offset
+	offset := res.validBytes
 	hdr := make([]byte, recordHeaderSize)
 	for {
-		n, err := io.ReadFull(r, hdr)
+		n, err := io.ReadFull(f, hdr)
 		if err == io.EOF {
 			break // clean end on a record boundary
 		}
 		if err != nil {
-			stats.TailError = fmt.Sprintf("truncated record header at offset %d (%d of %d bytes)", offset, n, recordHeaderSize)
+			res.tailError = fmt.Sprintf("truncated record header at offset %d (%d of %d bytes)", offset, n, recordHeaderSize)
 			break
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if length == 0 || int64(length) > int64(maxRecord) {
-			stats.TailError = fmt.Sprintf("implausible record length %d at offset %d (max %d)", length, offset, maxRecord)
+			res.tailError = fmt.Sprintf("implausible record length %d at offset %d (max %d)", length, offset, maxRecord)
 			break
 		}
 		if offset+recordHeaderSize+int64(length) > size {
-			stats.TailError = fmt.Sprintf("truncated record payload at offset %d (%d bytes promised, %d in file)",
+			res.tailError = fmt.Sprintf("truncated record payload at offset %d (%d bytes promised, %d in file)",
 				offset, length, size-offset-recordHeaderSize)
 			break
 		}
 		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			stats.TailError = fmt.Sprintf("short read of record payload at offset %d: %v", offset, err)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			res.tailError = fmt.Sprintf("short read of record payload at offset %d: %v", offset, err)
 			break
 		}
 		if got := crc32.Checksum(payload, castagnoli); got != want {
-			stats.TailError = fmt.Sprintf("checksum mismatch at offset %d: recorded %08x, computed %08x", offset, want, got)
+			res.tailError = fmt.Sprintf("checksum mismatch at offset %d: recorded %08x, computed %08x", offset, want, got)
 			break
 		}
-		if fn != nil {
+		seq := res.firstSeq + uint64(res.records)
+		if seq < replayFrom {
+			res.skipped++
+		} else if fn != nil {
 			if err := fn(payload); err != nil {
-				return stats, fmt.Errorf("journal: replay callback at record %d: %w", stats.Records, err)
+				return res, fmt.Errorf("journal: replay callback at seq %d: %w", seq, err)
 			}
+			res.replayed++
+		} else {
+			res.replayed++
 		}
-		stats.Records++
+		res.records++
 		offset += recordHeaderSize + int64(length)
-		stats.ValidBytes = offset
+		res.validBytes = offset
 	}
-	stats.TruncatedBytes = size - stats.ValidBytes
-	if stats.TruncatedBytes > 0 && stats.TailError == "" {
-		stats.TailError = "trailing bytes past the last valid record"
+	if res.tailError == "" && offset < size {
+		res.tailError = "trailing bytes past the last valid record"
 	}
-	return stats, nil
+	return res, nil
 }
 
-// Append writes one record and, under SyncAlways, fsyncs before returning,
-// so a nil error means the payload is durable and may be acknowledged.
-func (j *Journal) Append(payload []byte) error {
+// truncateSegment persists a torn-tail repair: the file is cut back to
+// the last valid boundary (or removed outright when nothing valid
+// remains, e.g. a torn rotation) and the change is fsynced.
+func truncateSegment(seg *segment, validBytes int64) error {
+	if validBytes <= 0 {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("journal: removing torn segment %s: %w", seg.path, err)
+		}
+		seg.size = 0
+		return nil
+	}
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("journal: reopening %s for truncation: %w", seg.path, err)
+	}
+	truncErr := f.Truncate(validBytes)
+	syncErr := f.Sync()
+	closeErr := f.Close()
+	if truncErr != nil {
+		return fmt.Errorf("journal: truncating torn tail of %s: %w", seg.path, truncErr)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("journal: syncing after truncation of %s: %w", seg.path, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("journal: closing %s after truncation: %w", seg.path, closeErr)
+	}
+	seg.size = validBytes
+	return nil
+}
+
+// openActive positions the journal for appends: it opens the last
+// segment, or creates segment 1 (first seq = ReplayFrom) when the
+// directory holds none. A torn last segment whose repair removed the file
+// is recreated fresh.
+func (j *Journal) openActive(stats *ReplayStats) error {
+	if len(j.segments) == 0 {
+		if err := j.createSegment(1, j.nextSeq); err != nil {
+			return err
+		}
+		stats.Segments = 1
+		return nil
+	}
+	last := j.segments[len(j.segments)-1]
+	if last.size == 0 {
+		// Repair removed the torn file; recreate it with the right header.
+		j.segments = j.segments[:len(j.segments)-1]
+		return j.createSegment(last.index, j.nextSeq)
+	}
+	f, err := os.OpenFile(last.path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("journal: opening active segment %s: %w", last.path, err)
+	}
+	if _, err := f.Seek(last.size, io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: seeking to append position in %s: %w", last.path, err)
+	}
+	j.active = f
+	return nil
+}
+
+// createSegment writes and persists a fresh segment file and makes it the
+// active one. Callers must hold j.mu (or be in Open, before the journal
+// escapes).
+func (j *Journal) createSegment(index, firstSeq uint64) error {
+	path := filepath.Join(j.dir, segName(index))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating segment %s: %w", path, err)
+	}
+	header := make([]byte, segHeaderSize)
+	copy(header, segMagic)
+	binary.LittleEndian.PutUint64(header[v1HeaderSize:], firstSeq)
+	if _, err := f.Write(header); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: syncing segment header: %w", err)
+	}
+	if err := j.syncDir(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	j.active = f
+	j.segments = append(j.segments, segment{index: index, path: path, firstSeq: firstSeq, size: segHeaderSize})
+	j.size += segHeaderSize
+	return nil
+}
+
+// syncDir fsyncs the journal directory so file creations and deletions
+// are themselves durable.
+func (j *Journal) syncDir() error {
+	if err := j.dirFile.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing directory %s: %w", j.dir, err)
+	}
+	return nil
+}
+
+// syncDirOnce fsyncs dir through a throwaway handle (for paths taken
+// before a Journal exists, like migration).
+func syncDirOnce(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: opening %s to sync: %w", dir, err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("journal: syncing directory %s: %w", dir, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("journal: closing directory %s: %w", dir, closeErr)
+	}
+	return nil
+}
+
+// poisonLocked records the journal's first disk fault; all later appends
+// and syncs fail with ErrPoisoned. Callers must hold j.mu.
+func (j *Journal) poisonLocked(op string, cause error) error {
+	if j.poison == nil {
+		j.poison = fmt.Errorf("%s: %w", op, cause)
+	}
+	return fmt.Errorf("journal: %s: %w (%w)", op, cause, ErrPoisoned)
+}
+
+// writeActive writes buf to the active segment through the fault seam.
+// Any failure — including a short write, whose torn bytes the seam still
+// lands on disk to mimic a real partial write — poisons the journal.
+func (j *Journal) writeActive(buf []byte) error {
+	if f := j.opts.Faults; f != nil && f.Write != nil {
+		n, err := f.Write(buf)
+		if err != nil {
+			if n > 0 && n <= len(buf) {
+				_, _ = j.active.Write(buf[:n])
+				j.size += int64(n)
+				j.segments[len(j.segments)-1].size += int64(n)
+			}
+			return j.poisonLocked("append write", err)
+		}
+		if n < len(buf) {
+			_, _ = j.active.Write(buf[:n])
+			j.size += int64(n)
+			j.segments[len(j.segments)-1].size += int64(n)
+			return j.poisonLocked("append write", fmt.Errorf("short write (%d of %d bytes)", n, len(buf)))
+		}
+	}
+	n, err := j.active.Write(buf)
+	j.size += int64(n)
+	j.segments[len(j.segments)-1].size += int64(n)
+	if err != nil {
+		return j.poisonLocked("append write", err)
+	}
+	return nil
+}
+
+// syncActive fsyncs the active segment through the fault seam. A failure
+// poisons the journal: a failed fsync may have silently dropped the dirty
+// pages, so retrying and acknowledging would lie about durability.
+func (j *Journal) syncActive(op string) error {
+	if f := j.opts.Faults; f != nil && f.Sync != nil {
+		if err := f.Sync(); err != nil {
+			return j.poisonLocked(op, err)
+		}
+	}
+	if err := j.active.Sync(); err != nil {
+		return j.poisonLocked(op, err)
+	}
+	return nil
+}
+
+// Append writes one record and, under SyncAlways, fsyncs before
+// returning; a nil error means the payload is durable and may be
+// acknowledged, and seq is the record's global sequence number. Once the
+// journal is poisoned by a disk fault every Append fails with
+// ErrPoisoned.
+func (j *Journal) Append(payload []byte) (seq uint64, err error) {
 	if len(payload) == 0 {
-		return fmt.Errorf("journal: refusing empty payload")
+		return 0, fmt.Errorf("journal: refusing empty payload")
 	}
 	if len(payload) > j.opts.maxRecord() {
-		return fmt.Errorf("journal: payload of %d bytes exceeds record cap %d", len(payload), j.opts.maxRecord())
+		return 0, fmt.Errorf("journal: payload of %d bytes exceeds record cap %d", len(payload), j.opts.maxRecord())
 	}
 	buf := make([]byte, recordHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
@@ -259,35 +790,118 @@ func (j *Journal) Append(payload []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return fmt.Errorf("journal: append to closed journal %s", j.path)
+		return 0, fmt.Errorf("journal: append to closed journal %s", j.dir)
 	}
-	if _, err := j.f.Write(buf); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	if j.poison != nil {
+		return 0, fmt.Errorf("journal: append refused: %w (%w)", ErrPoisoned, j.poison)
 	}
-	j.size += int64(len(buf))
+	if err := j.maybeRotateLocked(); err != nil {
+		return 0, err
+	}
+	if err := j.writeActive(buf); err != nil {
+		return 0, err
+	}
+	j.segments[len(j.segments)-1].records++
+	seq = j.nextSeq
+	j.nextSeq++
 	if j.opts.Sync == SyncAlways {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("journal: fsync after append: %w", err)
+		if err := j.syncActive("fsync after append"); err != nil {
+			return 0, err
 		}
+	}
+	return seq, nil
+}
+
+// maybeRotateLocked seals the active segment and starts a fresh one when
+// the active segment has reached the rotation threshold. The sealed
+// segment is always fsynced (regardless of policy) so compaction and
+// recovery can trust sealed segments under SyncOS too.
+func (j *Journal) maybeRotateLocked() error {
+	cur := j.segments[len(j.segments)-1]
+	if cur.size < j.opts.segmentBytes() || cur.records == 0 {
+		return nil
+	}
+	return j.rotateLocked()
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncActive("fsync sealing segment"); err != nil {
+		return err
+	}
+	if err := j.active.Close(); err != nil {
+		return j.poisonLocked("closing sealed segment", err)
+	}
+	j.active = nil
+	next := j.segments[len(j.segments)-1].index + 1
+	if err := j.createSegment(next, j.nextSeq); err != nil {
+		// Failing to open the next segment is an append-path disk fault:
+		// the journal has no file to write to.
+		return j.poisonLocked("rotating segment", err)
 	}
 	return nil
 }
 
+// CompactThrough deletes every sealed segment whose records all fall
+// below seq — typically the sequence a snapshot just covered. When seq
+// covers the active segment too, the journal rotates first so the sealed
+// file can go; recovery then starts from an (almost) empty journal plus
+// the snapshot. It returns the number of segment files deleted.
+func (j *Journal) CompactThrough(seq uint64) (deleted int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("journal: compacting closed journal %s", j.dir)
+	}
+	if j.poison != nil {
+		return 0, fmt.Errorf("journal: compaction refused: %w (%w)", ErrPoisoned, j.poison)
+	}
+	if seq > j.nextSeq {
+		seq = j.nextSeq
+	}
+	if last := j.segments[len(j.segments)-1]; last.covered(seq) && last.records > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	// Delete oldest-first so a crash mid-compaction always leaves a
+	// contiguous suffix of segments on disk.
+	for len(j.segments) > 1 && j.segments[0].covered(seq) {
+		victim := j.segments[0]
+		if err := os.Remove(victim.path); err != nil {
+			return deleted, fmt.Errorf("journal: deleting compacted segment %s: %w", victim.path, err)
+		}
+		j.size -= victim.size
+		j.segments = j.segments[1:]
+		deleted++
+	}
+	if deleted > 0 {
+		if err := j.syncDir(); err != nil {
+			return deleted, err
+		}
+	}
+	return deleted, nil
+}
+
 // Sync forces buffered appends to stable storage regardless of policy.
+// Like Append, it fails with ErrPoisoned once the journal has seen a disk
+// fault — retrying a failed fsync cannot resurrect dropped pages.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return fmt.Errorf("journal: sync of closed journal %s", j.path)
+		return fmt.Errorf("journal: sync of closed journal %s", j.dir)
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
+	if j.poison != nil {
+		return fmt.Errorf("journal: sync refused: %w (%w)", ErrPoisoned, j.poison)
 	}
-	return nil
+	return j.syncActive("fsync")
 }
 
 // Close syncs and closes the journal. Further appends fail. Close is
-// idempotent.
+// idempotent. A poisoned journal closes without the final sync — the
+// fault was already reported on the operation that hit it, and a retry
+// could only lie.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -295,23 +909,57 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	syncErr := j.f.Sync()
-	closeErr := j.f.Close()
+	var syncErr error
+	if j.poison == nil && j.active != nil {
+		syncErr = j.syncActive("final sync")
+	}
+	var closeErr error
+	if j.active != nil {
+		closeErr = j.active.Close()
+		j.active = nil
+	}
+	dirErr := j.dirFile.Close()
 	if syncErr != nil {
 		return fmt.Errorf("journal: final sync: %w", syncErr)
 	}
 	if closeErr != nil {
 		return fmt.Errorf("journal: close: %w", closeErr)
 	}
+	if dirErr != nil {
+		return fmt.Errorf("journal: closing directory handle: %w", dirErr)
+	}
 	return nil
 }
 
-// Path returns the journal's file path.
-func (j *Journal) Path() string { return j.path }
+// Poisoned returns the root-cause disk fault that poisoned the journal,
+// or nil while it is healthy.
+func (j *Journal) Poisoned() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.poison
+}
 
-// Size returns the current file size in bytes (header included).
+// Dir returns the journal's directory path.
+func (j *Journal) Dir() string { return j.dir }
+
+// Size returns the total bytes across live segments (headers included).
 func (j *Journal) Size() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.size
+}
+
+// Segments returns the number of live segment files.
+func (j *Journal) Segments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.segments)
+}
+
+// NextSeq returns the sequence number the next appended record will get —
+// equivalently, the number of records ever appended to this journal.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
 }

@@ -3,6 +3,7 @@ package journal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -13,29 +14,49 @@ import (
 )
 
 // openCollect opens the journal collecting every replayed payload.
-func openCollect(t *testing.T, path string, opts Options) (*Journal, ReplayStats, [][]byte) {
+func openCollect(t *testing.T, dir string, opts Options) (*Journal, ReplayStats, [][]byte) {
 	t.Helper()
 	var payloads [][]byte
-	j, stats, err := Open(path, opts, func(p []byte) error {
+	j, stats, err := Open(dir, opts, func(p []byte) error {
 		payloads = append(payloads, append([]byte(nil), p...))
 		return nil
 	})
 	if err != nil {
-		t.Fatalf("Open(%s): %v", path, err)
+		t.Fatalf("Open(%s): %v", dir, err)
 	}
 	return j, stats, payloads
 }
 
+func mustAppend(t *testing.T, j *Journal, payload []byte) uint64 {
+	t.Helper()
+	seq, err := j.Append(payload)
+	if err != nil {
+		t.Fatalf("Append(%q): %v", payload, err)
+	}
+	return seq
+}
+
+// activeSegmentPath returns the highest-indexed segment file in dir, for
+// tests that corrupt the journal tail directly.
+func activeSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments(%s): %v (%d segments)", dir, err, len(segs))
+	}
+	return segs[len(segs)-1].path
+}
+
 func TestAppendReplayRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, stats, _ := openCollect(t, path, Options{})
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, stats, _ := openCollect(t, dir, Options{})
 	if stats.Records != 0 || stats.Truncated() {
 		t.Fatalf("fresh journal stats = %+v", stats)
 	}
 	want := [][]byte{[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte{0xAB}, 1000)}
-	for _, p := range want {
-		if err := j.Append(p); err != nil {
-			t.Fatal(err)
+	for i, p := range want {
+		if seq := mustAppend(t, j, p); seq != uint64(i) {
+			t.Fatalf("append %d got seq %d", i, seq)
 		}
 	}
 	if err := j.Close(); err != nil {
@@ -45,9 +66,12 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 
-	_, stats, got := openCollect(t, path, Options{})
+	_, stats, got := openCollect(t, dir, Options{})
 	if stats.Records != len(want) || stats.Truncated() || stats.TailError != "" {
 		t.Fatalf("replay stats = %+v", stats)
+	}
+	if stats.NextSeq != uint64(len(want)) || stats.FirstSeq != 0 {
+		t.Fatalf("sequence range wrong: %+v", stats)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(want))
@@ -60,30 +84,126 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 }
 
 func TestReopenAppendReopen(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, _, _ := openCollect(t, path, Options{Sync: SyncOS})
-	if err := j.Append([]byte("one")); err != nil {
-		t.Fatal(err)
-	}
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS})
+	mustAppend(t, j, []byte("one"))
 	if err := j.Sync(); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	j, stats, _ := openCollect(t, path, Options{})
+	j, stats, _ := openCollect(t, dir, Options{})
 	if stats.Records != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
-	if err := j.Append([]byte("two")); err != nil {
-		t.Fatal(err)
+	if seq := mustAppend(t, j, []byte("two")); seq != 1 {
+		t.Fatalf("append after reopen got seq %d, want 1", seq)
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, got := openCollect(t, path, Options{})
+	_, stats, got := openCollect(t, dir, Options{})
 	if stats.Records != 2 || len(got) != 2 || string(got[1]) != "two" {
 		t.Fatalf("after reopen-append: stats=%+v got=%q", stats, got)
+	}
+}
+
+func TestRotationSplitsSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	// Tiny threshold: every append beyond the first rotates.
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS, SegmentBytes: 1})
+	const n = 5
+	for i := 0; i < n; i++ {
+		mustAppend(t, j, []byte(fmt.Sprintf("rec-%d", i)))
+	}
+	if got := j.Segments(); got != n {
+		t.Fatalf("want %d segments after rotation, got %d", n, got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, dir, Options{})
+	if stats.Records != n || stats.Segments != n || stats.Truncated() {
+		t.Fatalf("rotated replay stats = %+v", stats)
+	}
+	for i := range got {
+		if string(got[i]) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d = %q out of order", i, got[i])
+		}
+	}
+}
+
+func TestCompactThroughDeletesCoveredSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS, SegmentBytes: 1})
+	for i := 0; i < 6; i++ {
+		mustAppend(t, j, []byte(fmt.Sprintf("rec-%d", i)))
+	}
+	sizeBefore := j.Size()
+	deleted, err := j.CompactThrough(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted == 0 {
+		t.Fatal("compaction deleted nothing")
+	}
+	if j.Size() >= sizeBefore {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d", sizeBefore, j.Size())
+	}
+	// Appends continue with uninterrupted sequence numbers.
+	if seq := mustAppend(t, j, []byte("rec-6")); seq != 6 {
+		t.Fatalf("post-compaction append got seq %d, want 6", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A replay from the snapshot position sees only the suffix.
+	_, stats, got := openCollect(t, dir, Options{ReplayFrom: 4})
+	if stats.FirstSeq > 4 {
+		t.Fatalf("compaction deleted past the cover point: %+v", stats)
+	}
+	if stats.Records != 3 {
+		t.Fatalf("want records 4..6 replayed (3), got %d (stats %+v)", stats.Records, stats)
+	}
+	for i, want := range []string{"rec-4", "rec-5", "rec-6"} {
+		if string(got[i]) != want {
+			t.Fatalf("replayed record %d = %q, want %q", i, got[i], want)
+		}
+	}
+
+	// Replaying from before the compacted prefix must fail loudly: those
+	// records are gone and pretending otherwise would serve a hole.
+	if _, _, err := Open(dir, Options{ReplayFrom: 0}, nil); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("want ErrSeqGap for a pre-compaction replay, got %v", err)
+	}
+}
+
+func TestCompactThroughAllRotatesActive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS})
+	for i := 0; i < 4; i++ {
+		mustAppend(t, j, []byte(fmt.Sprintf("rec-%d", i)))
+	}
+	// Everything is covered: the active segment must be sealed and
+	// deleted, leaving a fresh, nearly-empty journal.
+	if _, err := j.CompactThrough(j.NextSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if j.Segments() != 1 || j.Size() != segHeaderSize {
+		t.Fatalf("full compaction should leave one empty segment, got %d segments / %d bytes",
+			j.Segments(), j.Size())
+	}
+	if seq := mustAppend(t, j, []byte("rec-4")); seq != 4 {
+		t.Fatalf("append after full compaction got seq %d, want 4", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, dir, Options{ReplayFrom: 4})
+	if stats.Records != 1 || string(got[0]) != "rec-4" {
+		t.Fatalf("suffix replay after full compaction: stats=%+v got=%q", stats, got)
 	}
 }
 
@@ -111,15 +231,14 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			path := filepath.Join(t.TempDir(), "j.wal")
-			j, _, _ := openCollect(t, path, Options{})
-			if err := j.Append([]byte("kept")); err != nil {
-				t.Fatal(err)
-			}
+			dir := filepath.Join(t.TempDir(), "wal")
+			j, _, _ := openCollect(t, dir, Options{})
+			mustAppend(t, j, []byte("kept"))
 			if err := j.Close(); err != nil {
 				t.Fatal(err)
 			}
-			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			seg := activeSegmentPath(t, dir)
+			f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +249,7 @@ func TestTornTailTruncated(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			j, stats, got := openCollect(t, path, Options{})
+			j, stats, got := openCollect(t, dir, Options{})
 			if stats.Records != 1 || len(got) != 1 || string(got[0]) != "kept" {
 				t.Fatalf("valid prefix lost: stats=%+v got=%q", stats, got)
 			}
@@ -143,8 +262,8 @@ func TestTornTailTruncated(t *testing.T) {
 			if err := j.Close(); err != nil {
 				t.Fatal(err)
 			}
-			// After truncation the file must be clean on the next open.
-			_, stats2, _ := openCollect(t, path, Options{})
+			// After truncation the journal must be clean on the next open.
+			_, stats2, _ := openCollect(t, dir, Options{})
 			if stats2.Truncated() || stats2.Records != 1 {
 				t.Fatalf("truncation did not persist: %+v", stats2)
 			}
@@ -152,35 +271,109 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
-// TestChecksumMismatchRejected flips one bit inside a record's payload; the
-// record must be rejected and truncated, not silently replayed.
-func TestChecksumMismatchRejected(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, _, _ := openCollect(t, path, Options{})
-	if err := j.Append([]byte("first")); err != nil {
-		t.Fatal(err)
-	}
-	if err := j.Append([]byte("second-to-corrupt")); err != nil {
-		t.Fatal(err)
+// TestCorruptionDropsLaterSegments bit-flips a record in a sealed (non
+// final) segment: replay must stop there, truncate the segment, and
+// delete every later segment rather than replay records whose
+// predecessors are untrusted.
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS, SegmentBytes: 1})
+	for i := 0; i < 4; i++ {
+		mustAppend(t, j, []byte(fmt.Sprintf("rec-%d", i)))
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d (%v)", len(segs), err)
+	}
+	victim := segs[1].path
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, got := openCollect(t, dir, Options{})
+	if stats.Records != 1 || string(got[0]) != "rec-0" {
+		t.Fatalf("want only the pre-corruption prefix: stats=%+v got=%q", stats, got)
+	}
+	if !stats.Truncated() || stats.DroppedSegments == 0 {
+		t.Fatalf("later segments not dropped: %+v", stats)
+	}
+	if !strings.Contains(stats.TailError, "checksum mismatch") {
+		t.Fatalf("corruption not named: %+v", stats)
+	}
+}
+
+func TestChecksumMismatchRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{})
+	mustAppend(t, j, []byte("first"))
+	mustAppend(t, j, []byte("second-to-corrupt"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := activeSegmentPath(t, dir)
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)-1] ^= 0x01 // last byte of the final record's payload
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	_, stats, got := openCollect(t, path, Options{})
+	_, stats, got := openCollect(t, dir, Options{})
 	if stats.Records != 1 || len(got) != 1 || string(got[0]) != "first" {
 		t.Fatalf("stats=%+v got=%q", stats, got)
 	}
 	if !stats.Truncated() || !strings.Contains(stats.TailError, "checksum mismatch") {
 		t.Fatalf("corruption not named: %+v", stats)
+	}
+}
+
+func TestV1JournalMigrated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	// Hand-build a v1 single-file journal: magic + two records.
+	var buf bytes.Buffer
+	buf.Write(v1Magic)
+	for _, p := range [][]byte{[]byte("old-0"), []byte("old-1")} {
+		var hdr [recordHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32Of(p))
+		buf.Write(hdr[:])
+		buf.Write(p)
+	}
+	if err := os.WriteFile(dir, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, stats, got := openCollect(t, dir, Options{})
+	if stats.Records != 2 || stats.Truncated() {
+		t.Fatalf("migrated replay stats = %+v", stats)
+	}
+	if string(got[0]) != "old-0" || string(got[1]) != "old-1" {
+		t.Fatalf("migrated payloads = %q", got)
+	}
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		t.Fatalf("migration should leave a directory at %s (err=%v)", dir, err)
+	}
+	// The journal keeps working across the format boundary.
+	if seq := mustAppend(t, j, []byte("new-2")); seq != 2 {
+		t.Fatalf("post-migration append got seq %d, want 2", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got = openCollect(t, dir, Options{})
+	if stats.Records != 3 || string(got[2]) != "new-2" {
+		t.Fatalf("reopen after migration: stats=%+v got=%q", stats, got)
 	}
 }
 
@@ -192,59 +385,80 @@ func TestBadMagicRefused(t *testing.T) {
 	if _, _, err := Open(path, Options{}, nil); err == nil {
 		t.Fatal("Open accepted a non-journal file")
 	}
-	short := filepath.Join(t.TempDir(), "short")
-	if err := os.WriteFile(short, []byte{1, 2, 3}, 0o644); err != nil {
+	// A garbage segment file inside the directory is refused too.
+	dir := filepath.Join(t.TempDir(), "wal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Open(short, Options{}, nil); err == nil {
-		t.Fatal("Open accepted a file shorter than the header")
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("garbage segment contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}, nil); err == nil {
+		t.Fatal("Open accepted a garbage first segment")
+	}
+}
+
+func TestUnwritableDirectoryRefused(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "wal")
+	if err := os.MkdirAll(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Options{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("read-only journal directory should refuse Open, got %v", err)
 	}
 }
 
 func TestAppendValidation(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, _, _ := openCollect(t, path, Options{MaxRecord: 64})
-	if err := j.Append(nil); err == nil {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{MaxRecord: 64})
+	if _, err := j.Append(nil); err == nil {
 		t.Error("empty payload accepted")
 	}
-	if err := j.Append(bytes.Repeat([]byte{1}, 65)); err == nil {
+	if _, err := j.Append(bytes.Repeat([]byte{1}, 65)); err == nil {
 		t.Error("oversized payload accepted")
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Append([]byte("x")); err == nil {
+	if _, err := j.Append([]byte("x")); err == nil {
 		t.Error("append after Close accepted")
 	}
 	if err := j.Sync(); err == nil {
 		t.Error("sync after Close accepted")
 	}
+	if _, err := j.CompactThrough(0); err == nil {
+		t.Error("compaction after Close accepted")
+	}
 }
 
 func TestReplayCallbackErrorAborts(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, _, _ := openCollect(t, path, Options{})
-	if err := j.Append([]byte("a")); err != nil {
-		t.Fatal(err)
-	}
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{})
+	mustAppend(t, j, []byte("a"))
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 	boom := fmt.Errorf("boom")
-	_, _, err := Open(path, Options{}, func([]byte) error { return boom })
+	_, _, err := Open(dir, Options{}, func([]byte) error { return boom })
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("callback error not propagated: %v", err)
 	}
-	// The failed open must not have damaged the file.
-	_, stats, _ := openCollect(t, path, Options{})
+	// The failed open must not have damaged the files.
+	_, stats, _ := openCollect(t, dir, Options{})
 	if stats.Records != 1 || stats.Truncated() {
-		t.Fatalf("file damaged by aborted open: %+v", stats)
+		t.Fatalf("journal damaged by aborted open: %+v", stats)
 	}
 }
 
 func TestConcurrentAppends(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, _, _ := openCollect(t, path, Options{Sync: SyncOS})
+	dir := filepath.Join(t.TempDir(), "wal")
+	// Small segments so rotation races with concurrent appenders too.
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS, SegmentBytes: 256})
 	const writers, each = 8, 50
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -252,7 +466,7 @@ func TestConcurrentAppends(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+				if _, err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
 					t.Errorf("append: %v", err)
 					return
 				}
@@ -263,44 +477,183 @@ func TestConcurrentAppends(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, got := openCollect(t, path, Options{})
+	_, stats, got := openCollect(t, dir, Options{})
 	if stats.Records != writers*each || len(got) != writers*each {
 		t.Fatalf("replayed %d records, want %d (stats %+v)", len(got), writers*each, stats)
 	}
 }
 
-func TestSizeAndPath(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "j.wal")
-	j, _, _ := openCollect(t, path, Options{})
-	if j.Path() != path {
-		t.Errorf("Path() = %q", j.Path())
+// --- fault injection & poisoning -------------------------------------------
+
+func TestFsyncFailurePoisons(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	fail := false
+	faults := &Faults{Sync: func() error {
+		if fail {
+			return fmt.Errorf("injected EIO on fsync")
+		}
+		return nil
+	}}
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncAlways, Faults: faults})
+	mustAppend(t, j, []byte("healthy"))
+
+	fail = true
+	if _, err := j.Append([]byte("doomed")); err == nil || !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append over failed fsync must return ErrPoisoned, got %v", err)
 	}
-	if j.Size() != headerSize {
-		t.Errorf("fresh Size() = %d", j.Size())
+	// fsyncgate: even if the disk "recovers", the journal must not.
+	fail = false
+	if _, err := j.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poisoning must keep failing, got %v", err)
 	}
-	if err := j.Append([]byte("abcd")); err != nil {
-		t.Fatal(err)
+	if err := j.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync after poisoning must fail, got %v", err)
 	}
-	if want := int64(headerSize + recordHeaderSize + 4); j.Size() != want {
-		t.Errorf("Size() = %d, want %d", j.Size(), want)
+	if _, err := j.CompactThrough(1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("compaction after poisoning must fail, got %v", err)
 	}
-	info, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
+	if cause := j.Poisoned(); cause == nil || !strings.Contains(cause.Error(), "injected EIO") {
+		t.Fatalf("Poisoned() should name the root cause, got %v", cause)
 	}
-	if info.Size() != j.Size() {
-		t.Errorf("on-disk size %d != tracked %d", info.Size(), j.Size())
+	if err := j.Close(); err != nil {
+		t.Fatalf("poisoned Close should not fail (fault already reported): %v", err)
+	}
+
+	// Recovery salvages what was durable before the fault; the record
+	// whose fsync failed must not have been acknowledged (the caller saw
+	// an error), and replay may or may not find its bytes — what matters
+	// is that every record replayed is intact.
+	_, stats, got := openCollect(t, dir, Options{})
+	if stats.Records < 1 || string(got[0]) != "healthy" {
+		t.Fatalf("pre-fault record lost: stats=%+v got=%q", stats, got)
+	}
+}
+
+func TestWriteFailurePoisons(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	arm := false
+	faults := &Faults{Write: func(buf []byte) (int, error) {
+		if arm {
+			return 0, fmt.Errorf("injected ENOSPC")
+		}
+		return len(buf), nil
+	}}
+	j, _, _ := openCollect(t, dir, Options{Faults: faults})
+	mustAppend(t, j, []byte("pre"))
+	arm = true
+	if _, err := j.Append([]byte("x")); err == nil || !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("failed write must poison, got %v", err)
+	}
+	arm = false
+	if _, err := j.Append([]byte("y")); !errors.Is(err, ErrPoisoned) {
+		t.Fatal("journal must stay poisoned after a write failure")
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// CRC sanity: the record we wrote verifies under Castagnoli.
-	data, err := os.ReadFile(path)
+}
+
+// TestShortWritePoisonsAndTornBytesRepaired injects a short write — half
+// a record lands on disk — and asserts both halves of the contract: the
+// journal poisons immediately, and the next open truncates the torn
+// bytes instead of replaying them.
+func TestShortWritePoisonsAndTornBytesRepaired(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	arm := false
+	faults := &Faults{Write: func(buf []byte) (int, error) {
+		if arm {
+			return len(buf) / 2, fmt.Errorf("injected short write")
+		}
+		return len(buf), nil
+	}}
+	j, _, _ := openCollect(t, dir, Options{Faults: faults})
+	mustAppend(t, j, []byte("durable"))
+	arm = true
+	if _, err := j.Append([]byte("torn-in-half")); !errors.Is(err, ErrPoisoned) {
+		t.Fatal("short write must poison the journal")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, got := openCollect(t, dir, Options{})
+	if stats.Records != 1 || string(got[0]) != "durable" {
+		t.Fatalf("recovery over torn bytes: stats=%+v got=%q", stats, got)
+	}
+	if !stats.Truncated() {
+		t.Fatalf("torn half-record should be reported truncated: %+v", stats)
+	}
+}
+
+// --- small-surface satellites ----------------------------------------------
+
+func TestSyncPolicyString(t *testing.T) {
+	cases := map[SyncPolicy]string{
+		SyncAlways:     "always",
+		SyncOS:         "os",
+		SyncPolicy(7):  "SyncPolicy(7)",
+		SyncPolicy(-1): "SyncPolicy(-1)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("SyncPolicy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestReplayStatsReporting(t *testing.T) {
+	var zero ReplayStats
+	if zero.Truncated() {
+		t.Error("zero ReplayStats must not report truncation")
+	}
+	if got := zero.String(); got != "replayed 0 records from 0 segments (clean)" {
+		t.Errorf("zero ReplayStats.String() = %q", got)
+	}
+	full := ReplayStats{
+		Records: 7, SkippedRecords: 3, Segments: 2,
+		TruncatedBytes: 11, DroppedSegments: 1, TailError: "bad tail",
+	}
+	s := full.String()
+	for _, want := range []string{"7 records", "2 segments", "skipped 3", "11 bytes", "1 segments", "bad tail"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ReplayStats.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSizeDirAndSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{})
+	if j.Dir() != dir {
+		t.Errorf("Dir() = %q", j.Dir())
+	}
+	if j.Size() != segHeaderSize || j.Segments() != 1 || j.NextSeq() != 0 {
+		t.Errorf("fresh journal: size=%d segments=%d nextSeq=%d", j.Size(), j.Segments(), j.NextSeq())
+	}
+	mustAppend(t, j, []byte("abcd"))
+	if want := int64(segHeaderSize + recordHeaderSize + 4); j.Size() != want {
+		t.Errorf("Size() = %d, want %d", j.Size(), want)
+	}
+	if j.NextSeq() != 1 {
+		t.Errorf("NextSeq() = %d, want 1", j.NextSeq())
+	}
+	var onDisk int64
+	segs, err := listSegments(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := data[headerSize:]
-	if crc := binary.LittleEndian.Uint32(rec[4:8]); crc != crc32.Checksum([]byte("abcd"), castagnoli) {
-		t.Errorf("stored CRC %08x mismatches recomputation", crc)
+	for _, s := range segs {
+		onDisk += s.size
 	}
+	if onDisk != j.Size() {
+		t.Errorf("on-disk size %d != tracked %d", onDisk, j.Size())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crc32Of mirrors the production checksum for hand-built test files.
+func crc32Of(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
 }

@@ -14,24 +14,24 @@ import (
 
 const fuzzN, fuzzM = 8, 4
 
-// fuzzJournalBytes builds a valid journal holding the given batches, for
-// seeding the corpus with structurally real inputs.
+// fuzzJournalBytes builds a valid single-segment journal holding the
+// given batches, for seeding the corpus with structurally real inputs.
 func fuzzJournalBytes(t testing.TB, batches ...[]byte) []byte {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "seed.wal")
-	j, _, err := journal.Open(path, journal.Options{Sync: journal.SyncOS}, func([]byte) error { return nil })
+	dir := filepath.Join(t.TempDir(), "seed.wal")
+	j, _, err := journal.Open(dir, journal.Options{Sync: journal.SyncOS}, func([]byte) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, b := range batches {
-		if err := j.Append(b); err != nil {
+		if _, err := j.Append(b); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(filepath.Join(dir, "journal.000001"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,9 +61,13 @@ func FuzzJournalReplay(f *testing.F) {
 	f.Add([]byte("NOTAWAL\x01rest"))                          // wrong magic
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		dir := t.TempDir()
-		path := filepath.Join(dir, "wal")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		// The bytes land as the first journal segment in an otherwise
+		// empty journal directory — exactly what a recovering daemon sees.
+		path := filepath.Join(t.TempDir(), "wal")
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(path, "journal.000001"), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		var first [][]byte

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/journal"
 )
 
 // maxBodyBytes bounds one ingest request body; MaxBatchVotes bounds the
@@ -37,8 +38,10 @@ type errorResponse struct {
 //
 //	POST /votes      ingest a vote batch; 200 acknowledges durability
 //	GET  /rank       serve a ranking; ?deadline_ms bounds inference time
+//	POST /snapshot   take a snapshot now and compact covered segments
 //	GET  /healthz    liveness + operational stats (always 200 while up)
-//	GET  /readyz     readiness; 503 once shutdown has begun
+//	GET  /readyz     readiness; 503 once shutdown has begun or the
+//	                 journal is poisoned by a disk fault
 //
 // Ingest and rank are guarded by bounded queues: when a queue is full the
 // request is rejected immediately with 429 and a Retry-After header
@@ -47,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /votes", s.handleVotes)
 	mux.HandleFunc("GET /rank", s.handleRank)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
@@ -112,6 +116,11 @@ func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	case errors.Is(err, errBatchTooLarge):
 		s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	case errors.Is(err, journal.ErrPoisoned):
+		// A prior disk fault poisoned the journal: durability can no
+		// longer be promised, so no batch is acknowledged again until the
+		// operator replaces the volume and restarts.
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Client vanished before the batch committed: nothing was written,
 		// nothing to acknowledge.
@@ -165,6 +174,23 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	res, err := s.Snapshot()
+	switch {
+	case err == nil:
+		s.writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, errShuttingDown):
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, errNoJournal):
+		s.writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, journal.ErrPoisoned):
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.logf("serve: snapshot failed: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
@@ -173,6 +199,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.closing.Load() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Poisoned(); err != nil {
+			// fsyncgate semantics: a failed fsync may have dropped dirty
+			// pages, so the only honest readiness answer is "no".
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -21,7 +21,10 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +34,7 @@ import (
 	"crowdrank/internal/feq"
 	"crowdrank/internal/graph"
 	"crowdrank/internal/journal"
+	"crowdrank/internal/snapshot"
 )
 
 // Config configures the daemon. Zero-valued fields take the documented
@@ -40,13 +44,27 @@ type Config struct {
 	// Votes outside [0, N) x [0, M) are dropped at ingest.
 	N, M int
 
-	// JournalPath is the write-ahead journal file; empty runs the daemon
-	// in-memory only (acknowledged batches die with the process — tests
-	// and throwaway experiments only).
+	// JournalPath is the write-ahead journal directory (segments and
+	// snapshots live side by side in it); empty runs the daemon in-memory
+	// only (acknowledged batches die with the process — tests and
+	// throwaway experiments only). A version-1 single-file journal at this
+	// path is migrated in place on first open.
 	JournalPath string
 	// JournalSync selects the append durability policy (default
 	// journal.SyncAlways: fsync before every ack).
 	JournalSync journal.SyncPolicy
+	// JournalSegmentBytes is the segment rotation threshold; 0 means
+	// journal.DefaultSegmentBytes.
+	JournalSegmentBytes int64
+
+	// SnapshotEveryBatches takes a snapshot (and compacts covered journal
+	// segments) after that many acknowledged batches. 0 means the default
+	// 1024; negative disables the batch trigger.
+	SnapshotEveryBatches int
+	// SnapshotMaxJournalBytes takes a snapshot whenever the live journal
+	// exceeds this many bytes. 0 means the default 64 MiB; negative
+	// disables the size trigger. POST /snapshot triggers one regardless.
+	SnapshotMaxJournalBytes int64
 
 	// Seed drives smoothing and SAPS, making served rankings reproducible
 	// and certifiable (pass it to CertifyRanking). 0 draws a time-derived
@@ -96,20 +114,22 @@ type Config struct {
 // workers with every default made explicit.
 func DefaultConfig(n, m int) Config {
 	return Config{
-		N:                    n,
-		M:                    m,
-		JournalSync:          journal.SyncAlways,
-		ExactLimit:           16,
-		ExactFraction:        0.5,
-		SAPSFraction:         0.8,
-		MinRungBudget:        2 * time.Millisecond,
-		DefaultDeadline:      2 * time.Second,
-		MaxDeadline:          60 * time.Second,
-		MaxBatchVotes:        65536,
-		MaxConcurrentRanks:   4,
-		MaxConcurrentIngests: 64,
-		BreakerThreshold:     3,
-		BreakerCooldown:      30 * time.Second,
+		N:                       n,
+		M:                       m,
+		JournalSync:             journal.SyncAlways,
+		SnapshotEveryBatches:    1024,
+		SnapshotMaxJournalBytes: 64 << 20,
+		ExactLimit:              16,
+		ExactFraction:           0.5,
+		SAPSFraction:            0.8,
+		MinRungBudget:           2 * time.Millisecond,
+		DefaultDeadline:         2 * time.Second,
+		MaxDeadline:             60 * time.Second,
+		MaxBatchVotes:           65536,
+		MaxConcurrentRanks:      4,
+		MaxConcurrentIngests:    64,
+		BreakerThreshold:        3,
+		BreakerCooldown:         30 * time.Second,
 	}
 }
 
@@ -148,6 +168,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.SnapshotEveryBatches == 0 {
+		c.SnapshotEveryBatches = d.SnapshotEveryBatches
+	}
+	if c.SnapshotMaxJournalBytes == 0 {
+		c.SnapshotMaxJournalBytes = d.SnapshotMaxJournalBytes
 	}
 	if c.Seed == 0 {
 		c.Seed = uint64(time.Now().UnixNano())
@@ -197,16 +223,29 @@ func keyOf(v crowd.Vote) submissionKey {
 type Server struct {
 	cfg       Config
 	jnl       *journal.Journal // nil when running in-memory
-	recovered journal.ReplayStats
+	recovered RecoveryStats
 	logf      func(string, ...any)
 
-	mu        sync.RWMutex
-	votes     []crowd.Vote
-	seen      map[submissionKey]bool
-	gen       uint64 // bumped whenever votes change; keys the closure cache
-	batches   int    // journal records acknowledged or replayed
-	dupVotes  int    // exact duplicates suppressed by apply
-	malformed int    // votes dropped at ingest since start (not journaled)
+	// writeMu orders every journal append with its apply: under it the
+	// journal's NextSeq always equals the number of batches folded into
+	// memory, which is the invariant that lets a snapshot equate its
+	// coverage sequence with the state it captured.
+	writeMu sync.Mutex
+	// snapMu serializes snapshot writers (policy trigger vs POST
+	// /snapshot); sinceSnap counts acked batches since the last snapshot.
+	snapMu    sync.Mutex
+	sinceSnap atomic.Int64
+
+	mu           sync.RWMutex
+	votes        []crowd.Vote
+	seen         map[submissionKey]bool
+	gen          uint64 // bumped whenever votes change; keys the closure cache
+	batches      int    // journal records acknowledged or replayed
+	dupVotes     int    // exact duplicates suppressed by apply
+	malformed    int    // votes dropped at ingest since start (not journaled)
+	lastSnapSeq  uint64 // coverage of the newest snapshot on disk
+	lastSnapGen  uint64
+	lastSnapPath string
 
 	closureMu sync.Mutex
 	cacheGen  uint64
@@ -249,33 +288,127 @@ func NewContext(ctx context.Context, cfg Config) (*Server, error) {
 		s.logf = func(string, ...any) {}
 	}
 	if cfg.JournalPath != "" {
-		jnl, stats, err := journal.Open(cfg.JournalPath, journal.Options{Sync: cfg.JournalSync}, func(payload []byte) error {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			votes, _, err := decodeBatch(payload, cfg.N, cfg.M)
-			if err != nil {
-				// A record that passed its checksum but does not decode is
-				// a foreign or incompatible journal — refuse to serve from
-				// it rather than guess.
-				return fmt.Errorf("serve: undecodable batch: %w", err)
-			}
-			s.apply(votes)
-			return nil
-		})
-		if err != nil {
+		if err := s.recover(ctx, cfg); err != nil {
 			return nil, err
 		}
-		s.jnl = jnl
-		s.recovered = stats
-		if stats.Truncated() {
-			s.logf("journal %s: truncated torn tail (%d bytes): %s",
-				cfg.JournalPath, stats.TruncatedBytes, stats.TailError)
-		}
-		s.logf("journal %s: recovered %d batches, %d votes",
-			cfg.JournalPath, stats.Records, len(s.votes))
+		s.logf("journal %s: %s", cfg.JournalPath, s.recovered)
 	}
 	return s, nil
+}
+
+// recover rebuilds state from the newest valid snapshot plus a journal
+// suffix replay. Candidates are tried newest snapshot first, ending with a
+// full replay; a snapshot that fails to load, belongs to a different
+// universe, or no longer meets the surviving journal segments is refused
+// loudly (recorded in RecoveryStats.CorruptSnapshots) and the next
+// candidate is tried. When nothing covers the surviving segments the
+// daemon refuses to start rather than serve a state with a hole in it.
+func (s *Server) recover(ctx context.Context, cfg Config) error {
+	entries, err := snapshot.List(cfg.JournalPath)
+	if err != nil {
+		return fmt.Errorf("serve: listing snapshots: %w", err)
+	}
+	var corrupt []string
+	refuse := func(path string, why error) {
+		corrupt = append(corrupt, fmt.Sprintf("%s: %v", filepath.Base(path), why))
+		s.logf("serve: refusing snapshot %s: %v", path, why)
+	}
+	replay := func(payload []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		votes, _, err := decodeBatch(payload, cfg.N, cfg.M)
+		if err != nil {
+			// A record that passed its checksum but does not decode is
+			// a foreign or incompatible journal — refuse to serve from
+			// it rather than guess.
+			return fmt.Errorf("serve: undecodable batch: %w", err)
+		}
+		s.apply(votes)
+		return nil
+	}
+	// One trailing candidate past the snapshot list is the no-snapshot
+	// full replay.
+	for i := 0; i <= len(entries); i++ {
+		var st snapshot.State
+		var path string
+		if i < len(entries) {
+			path = entries[i].Path
+			st, err = snapshot.Load(path)
+			if err != nil {
+				refuse(path, err)
+				continue
+			}
+			if st.N != cfg.N || st.M != cfg.M {
+				refuse(path, fmt.Errorf("universe (%d,%d) does not match configured (%d,%d)", st.N, st.M, cfg.N, cfg.M))
+				continue
+			}
+		}
+		if err := s.seedFromSnapshot(st); err != nil {
+			refuse(path, err)
+			continue
+		}
+		opts := journal.Options{
+			Sync:         cfg.JournalSync,
+			SegmentBytes: cfg.JournalSegmentBytes,
+			ReplayFrom:   st.Seq,
+			Faults:       testJournalFaults,
+		}
+		jnl, stats, err := journal.Open(cfg.JournalPath, opts, replay)
+		switch {
+		case err == nil:
+			s.jnl = jnl
+			s.recovered = RecoveryStats{
+				ReplayStats:      stats,
+				SnapshotPath:     path,
+				SnapshotSeq:      st.Seq,
+				SnapshotGen:      st.Gen,
+				SnapshotVotes:    len(st.Votes),
+				CorruptSnapshots: corrupt,
+			}
+			s.mu.Lock()
+			s.lastSnapSeq, s.lastSnapGen, s.lastSnapPath = st.Seq, st.Gen, path
+			s.mu.Unlock()
+			return nil
+		case i < len(entries) && errors.Is(err, journal.ErrSeqGap):
+			// The surviving segments start after this snapshot's coverage:
+			// records in between are gone, so the snapshot cannot be
+			// extended. A newer candidate already failed; older ones cover
+			// even less, but a full replay may still work if segment 1
+			// survived.
+			refuse(path, err)
+			continue
+		default:
+			// Unwritable directory, foreign files, an undecodable batch,
+			// ctx cancellation: no other candidate fixes these.
+			return err
+		}
+	}
+	return fmt.Errorf("serve: journal %s: no snapshot covers the surviving segments (refused: %s): %w",
+		cfg.JournalPath, strings.Join(corrupt, "; "), journal.ErrSeqGap)
+}
+
+// seedFromSnapshot resets the in-memory state to exactly what the snapshot
+// captured (the zero State resets to empty). The dedup set is not
+// serialized — it is recomputed from the votes, and a collision means the
+// snapshot does not describe a state apply could have produced.
+func (s *Server) seedFromSnapshot(st snapshot.State) error {
+	seen := make(map[submissionKey]bool, len(st.Votes))
+	for _, v := range st.Votes {
+		k := keyOf(v)
+		if seen[k] {
+			return fmt.Errorf("duplicate submission %+v in snapshot", v)
+		}
+		seen[k] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.votes = st.Votes
+	s.seen = seen
+	s.gen = st.Gen
+	s.batches = int(st.Seq)
+	s.dupVotes = st.DupVotes
+	return nil
 }
 
 // apply folds one validated batch into the in-memory state, suppressing
@@ -316,6 +449,17 @@ func (s *Server) Ingest(votes []crowd.Vote) (IngestResult, error) {
 // — there is no cancelling a half-fsynced record — so a ctx that expires
 // later does not un-acknowledge it.
 func (s *Server) IngestContext(ctx context.Context, votes []crowd.Vote) (IngestResult, error) {
+	res, err := s.ingest(ctx, votes)
+	if err == nil {
+		// The batch is durable and acknowledged whatever the snapshot
+		// policy does next; maybeSnapshot runs outside the shutdown lock
+		// so Close never deadlocks behind a policy-triggered snapshot.
+		s.maybeSnapshot()
+	}
+	return res, err
+}
+
+func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, error) {
 	var res IngestResult
 	if s.closing.Load() {
 		return res, errShuttingDown
@@ -351,16 +495,128 @@ func (s *Server) IngestContext(ctx context.Context, votes []crowd.Vote) (IngestR
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
+	// writeMu makes append→apply atomic with respect to other ingests, so
+	// journal order and apply order agree and a concurrent snapshot can
+	// never observe a NextSeq whose record is not yet in memory.
+	s.writeMu.Lock()
 	if s.jnl != nil {
-		if err := s.jnl.Append(encodeBatch(valid)); err != nil {
+		if _, err := s.jnl.Append(encodeBatch(valid)); err != nil {
+			s.writeMu.Unlock()
 			return res, fmt.Errorf("serve: journaling batch: %w", err)
 		}
 	}
 	res.Accepted, res.Duplicates = s.apply(valid)
+	s.writeMu.Unlock()
+	s.sinceSnap.Add(1)
 	s.mu.RLock()
 	res.Seq = s.batches
 	res.TotalVotes = len(s.votes)
 	s.mu.RUnlock()
+	return res, nil
+}
+
+// maybeSnapshot applies the snapshot policy after one acknowledged batch:
+// a snapshot is taken when enough batches or journal bytes accumulated
+// since the last one. Failures are logged, never propagated — the batch
+// that tripped the policy is already durable and acknowledged.
+func (s *Server) maybeSnapshot() {
+	if s.jnl == nil {
+		return
+	}
+	every, maxBytes := s.cfg.SnapshotEveryBatches, s.cfg.SnapshotMaxJournalBytes
+	trigger := (every > 0 && s.sinceSnap.Load() >= int64(every)) ||
+		(maxBytes > 0 && s.jnl.Size() >= maxBytes)
+	if !trigger {
+		return
+	}
+	if _, err := s.Snapshot(); err != nil && !errors.Is(err, errShuttingDown) {
+		s.logf("serve: policy-triggered snapshot failed: %v", err)
+	}
+}
+
+// SnapshotResult describes one completed snapshot+compaction cycle.
+type SnapshotResult struct {
+	// Path is the snapshot file; Seq the journal sequence it covers (a
+	// restart replays only records >= Seq); Gen the state generation and
+	// Votes the deduplicated vote count captured.
+	Path  string `json:"path"`
+	Seq   uint64 `json:"seq"`
+	Gen   uint64 `json:"gen"`
+	Votes int    `json:"votes"`
+	// SegmentsDeleted counts journal segments compacted away;
+	// SnapshotsPruned older snapshot files removed.
+	SegmentsDeleted int `json:"segments_deleted"`
+	SnapshotsPruned int `json:"snapshots_pruned"`
+}
+
+// snapshotsToKeep is how many verified snapshots survive pruning: the
+// newest plus one fallback in case the newest is damaged later.
+const snapshotsToKeep = 2
+
+// Snapshot captures the current state into a checksummed snapshot file,
+// verifies it by reading it back, and only then compacts the journal
+// segments it covers. It is the library form of POST /snapshot; the
+// snapshot policy calls it too. Safe for concurrent use; an in-memory
+// server (no journal) refuses.
+func (s *Server) Snapshot() (SnapshotResult, error) {
+	var res SnapshotResult
+	if s.jnl == nil {
+		return res, errNoJournal
+	}
+	if s.closing.Load() {
+		return res, errShuttingDown
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	// Capture a consistent cut: under writeMu no append is between its
+	// journal write and its apply, so NextSeq is exactly the coverage of
+	// the in-memory state. The vote slice is append-only, so the
+	// three-index slice stays immutable after the locks drop.
+	s.writeMu.Lock()
+	s.mu.RLock()
+	st := snapshot.State{
+		N:        s.cfg.N,
+		M:        s.cfg.M,
+		Seq:      s.jnl.NextSeq(),
+		Gen:      s.gen,
+		DupVotes: s.dupVotes,
+		Votes:    s.votes[:len(s.votes):len(s.votes)],
+	}
+	s.mu.RUnlock()
+	s.writeMu.Unlock()
+	s.sinceSnap.Store(0)
+
+	path, err := snapshot.Write(s.jnl.Dir(), st)
+	if err != nil {
+		return res, fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	// Read-back verification: no journal byte is deleted on the strength
+	// of a snapshot that cannot actually be loaded.
+	if _, err := snapshot.Load(path); err != nil {
+		return res, fmt.Errorf("serve: snapshot %s failed read-back verification, journal retained: %w", path, err)
+	}
+	deleted, err := s.jnl.CompactThrough(st.Seq)
+	if err != nil {
+		return res, fmt.Errorf("serve: snapshot %s written but compaction failed: %w", path, err)
+	}
+	pruned, err := snapshot.Prune(s.jnl.Dir(), snapshotsToKeep)
+	if err != nil {
+		// Stale snapshots waste disk but threaten nothing; keep going.
+		s.logf("serve: pruning old snapshots: %v", err)
+	}
+	s.mu.Lock()
+	s.lastSnapSeq, s.lastSnapGen, s.lastSnapPath = st.Seq, st.Gen, path
+	s.mu.Unlock()
+	res = SnapshotResult{
+		Path:            path,
+		Seq:             st.Seq,
+		Gen:             st.Gen,
+		Votes:           len(st.Votes),
+		SegmentsDeleted: deleted,
+		SnapshotsPruned: len(pruned),
+	}
+	s.logf("serve: snapshot %s: seq %d, %d votes, %d segments compacted", path, st.Seq, len(st.Votes), deleted)
 	return res, nil
 }
 
@@ -428,6 +684,19 @@ type Stats struct {
 	Seed       uint64 `json:"seed"`
 	Breaker    string `json:"breaker"`
 	Journal    string `json:"journal,omitempty"`
+	// Disk accounting, for alerting on unbounded growth: live journal
+	// bytes and segment count, plus bytes held by snapshot files.
+	JournalBytes    int64 `json:"journal_bytes"`
+	JournalSegments int   `json:"journal_segments"`
+	SnapshotBytes   int64 `json:"snapshot_bytes"`
+	// LastSnapshotSeq/Gen identify the newest snapshot on disk (0/0 when
+	// none has been taken).
+	LastSnapshotSeq uint64 `json:"last_snapshot_seq"`
+	LastSnapshotGen uint64 `json:"last_snapshot_gen"`
+	// LastSyncError is empty while the journal is healthy; non-empty
+	// means the journal is poisoned by a disk fault and the daemon is
+	// refusing writes (readyz 503).
+	LastSyncError string `json:"last_sync_error"`
 	// Recovered describes the last journal replay.
 	RecoveredBatches int   `json:"recovered_batches"`
 	TruncatedBytes   int64 `json:"truncated_bytes"`
@@ -445,6 +714,8 @@ func (s *Server) StatsSnapshot() Stats {
 		Duplicates:       s.dupVotes,
 		Malformed:        s.malformed,
 		Seed:             s.cfg.Seed,
+		LastSnapshotSeq:  s.lastSnapSeq,
+		LastSnapshotGen:  s.lastSnapGen,
 		RecoveredBatches: s.recovered.Records,
 		TruncatedBytes:   s.recovered.TruncatedBytes,
 		Closing:          s.closing.Load(),
@@ -452,13 +723,52 @@ func (s *Server) StatsSnapshot() Stats {
 	s.mu.RUnlock()
 	st.Breaker = s.breaker.state()
 	if s.jnl != nil {
-		st.Journal = s.jnl.Path()
+		st.Journal = s.jnl.Dir()
+		st.JournalBytes = s.jnl.Size()
+		st.JournalSegments = s.jnl.Segments()
+		st.SnapshotBytes = snapshot.DiskUsage(s.jnl.Dir())
+		if err := s.jnl.Poisoned(); err != nil {
+			st.LastSyncError = err.Error()
+		}
 	}
 	return st
 }
 
-// Recovered reports the journal replay performed at startup.
-func (s *Server) Recovered() journal.ReplayStats { return s.recovered }
+// RecoveryStats describes how startup rebuilt the state: which snapshot
+// seeded it (if any), the journal suffix replay on top, and every
+// snapshot candidate that was refused.
+type RecoveryStats struct {
+	journal.ReplayStats
+
+	// SnapshotPath is the snapshot that seeded recovery; empty means full
+	// journal replay. SnapshotSeq/Gen/Votes describe what it carried.
+	SnapshotPath  string
+	SnapshotSeq   uint64
+	SnapshotGen   uint64
+	SnapshotVotes int
+	// CorruptSnapshots lists "file: reason" for every snapshot refused
+	// during recovery — never silently, always here and in the log.
+	CorruptSnapshots []string
+}
+
+// String summarizes the recovery for startup logs.
+func (r RecoveryStats) String() string {
+	var b strings.Builder
+	if r.SnapshotPath != "" {
+		fmt.Fprintf(&b, "loaded snapshot %s (seq %d, %d votes), then ",
+			filepath.Base(r.SnapshotPath), r.SnapshotSeq, r.SnapshotVotes)
+	}
+	b.WriteString(r.ReplayStats.String())
+	if len(r.CorruptSnapshots) > 0 {
+		fmt.Fprintf(&b, "; refused %d snapshot(s): %s",
+			len(r.CorruptSnapshots), strings.Join(r.CorruptSnapshots, "; "))
+	}
+	return b.String()
+}
+
+// Recovered reports the snapshot-load and journal replay performed at
+// startup.
+func (s *Server) Recovered() RecoveryStats { return s.recovered }
 
 // Seed returns the effective pipeline seed (drawn at startup when the
 // config left it 0). Pass it to CertifyRanking to certify served rankings.
@@ -470,7 +780,13 @@ func (s *Server) Seed() uint64 { return s.cfg.Seed }
 var (
 	errShuttingDown  = fmt.Errorf("serve: server is shutting down")
 	errBatchTooLarge = fmt.Errorf("serve: batch exceeds MaxBatchVotes")
+	errNoJournal     = fmt.Errorf("serve: server is running in-memory; nothing to snapshot")
 )
+
+// testJournalFaults is the disk-fault injection seam: tests point it at a
+// journal.Faults before constructing the server to simulate failed writes
+// and fsyncs ("fsyncgate"). Always nil in production.
+var testJournalFaults *journal.Faults
 
 // Close drains in-flight work and performs the final journal sync. After
 // Close, ingest and rank requests fail fast (HTTP 503); Close is

@@ -1,0 +1,387 @@
+// Package snapshot serializes the ranking daemon's deduplicated vote
+// state into checksummed, versioned snapshot files, so recovery after a
+// restart is bounded by snapshot-load plus a short journal-suffix replay
+// instead of replaying every record the daemon ever acknowledged.
+//
+// A snapshot is a point-in-time capture of everything journal replay
+// would rebuild: the deduplicated votes, the state generation counter,
+// and the journal sequence number the capture covers. After a snapshot at
+// sequence S is durably on disk, every journal segment wholly below S is
+// redundant and may be compacted away.
+//
+// # On-disk format
+//
+//	8 bytes   magic + version ("CRWDSNP\x01")
+//	4 bytes   CRC32-Castagnoli of the payload, little-endian
+//	8 bytes   payload length, little-endian uint64
+//	payload   varint-encoded State (see encode)
+//
+// Snapshot files are named snapshot.<seq> (zero-padded, so lexical and
+// numeric order agree) and written atomically: temp file in the same
+// directory → fsync → rename → fsync directory. A crash mid-write leaves
+// only a *.tmp file, which readers ignore and the next successful write
+// cleans up. Load verifies the magic, length, checksum, and every decoded
+// field before returning — a corrupt snapshot is an error, never a
+// partial state, a property fuzzed by FuzzSnapshotLoad.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crowdrank/internal/crowd"
+)
+
+// fileMagic identifies a crowdrank snapshot; the final byte is the format
+// version.
+var fileMagic = []byte("CRWDSNP\x01")
+
+// headerSize is magic (8) + CRC (4) + payload length (8).
+const headerSize = 20
+
+// Prefix names snapshot files inside the journal directory.
+const Prefix = "snapshot."
+
+// maxSnapshotBytes bounds how much Load will read: a snapshot holds at
+// most one vote per (worker, pair) submission, so multi-gigabyte files
+// are corruption (or hostile), not state.
+const maxSnapshotBytes = 1 << 31
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// State is the daemon state a snapshot captures. It is exactly what
+// journal replay up to Seq would rebuild, so recovery can substitute the
+// snapshot for the replay prefix.
+type State struct {
+	// N is the object universe; M the worker universe. A snapshot only
+	// loads into a server configured with the same universe.
+	N, M int
+	// Seq is the journal sequence this snapshot covers: every record with
+	// sequence < Seq is folded in, and recovery replays from Seq.
+	Seq uint64
+	// Gen is the server's state-generation counter at capture (it keys
+	// the closure cache and must survive restarts monotonically).
+	Gen uint64
+	// DupVotes is the cross-batch duplicate count at capture, preserved
+	// so operational stats do not reset on restart.
+	DupVotes int
+	// Votes is the deduplicated vote state, in acceptance order.
+	Votes []crowd.Vote
+}
+
+// Entry is one snapshot file found by List.
+type Entry struct {
+	Path string
+	Seq  uint64
+}
+
+// name formats the snapshot filename covering seq.
+func name(seq uint64) string {
+	return fmt.Sprintf("%s%020d", Prefix, seq)
+}
+
+// encode serializes st as the snapshot payload.
+func encode(st State) []byte {
+	buf := make([]byte, 0, 64+len(st.Votes)*8)
+	buf = binary.AppendUvarint(buf, uint64(st.N))
+	buf = binary.AppendUvarint(buf, uint64(st.M))
+	buf = binary.AppendUvarint(buf, st.Seq)
+	buf = binary.AppendUvarint(buf, st.Gen)
+	buf = binary.AppendUvarint(buf, uint64(st.DupVotes))
+	buf = binary.AppendUvarint(buf, uint64(len(st.Votes)))
+	for _, v := range st.Votes {
+		buf = binary.AppendUvarint(buf, uint64(v.Worker))
+		buf = binary.AppendUvarint(buf, uint64(v.I))
+		buf = binary.AppendUvarint(buf, uint64(v.J))
+		if v.PrefersI {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// decode parses a snapshot payload, validating every field: counts must
+// match the bytes present, no trailing garbage, and every vote must fit
+// the declared universe. Unlike journal replay — where an out-of-universe
+// vote is dropped and counted — a snapshot vote that fails validation
+// means the snapshot itself is untrustworthy, so decode refuses outright.
+func decode(data []byte) (State, error) {
+	var st State
+	rest := data
+	readField := func(fieldName string) (uint64, error) {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return 0, fmt.Errorf("snapshot: %s unreadable at byte %d", fieldName, len(data)-len(rest))
+		}
+		rest = rest[k:]
+		return v, nil
+	}
+	const maxID = 1 << 31
+	n, err := readField("object count")
+	if err != nil {
+		return st, err
+	}
+	m, err := readField("worker count")
+	if err != nil {
+		return st, err
+	}
+	if n == 0 || n >= maxID || m == 0 || m >= maxID {
+		return st, fmt.Errorf("snapshot: implausible universe n=%d m=%d", n, m)
+	}
+	st.N, st.M = int(n), int(m)
+	if st.Seq, err = readField("sequence"); err != nil {
+		return st, err
+	}
+	if st.Gen, err = readField("generation"); err != nil {
+		return st, err
+	}
+	dups, err := readField("duplicate count")
+	if err != nil {
+		return st, err
+	}
+	if dups >= maxID {
+		return st, fmt.Errorf("snapshot: implausible duplicate count %d", dups)
+	}
+	st.DupVotes = int(dups)
+	count, err := readField("vote count")
+	if err != nil {
+		return st, err
+	}
+	// Each vote takes at least 4 bytes; a count promising more than the
+	// payload could hold is corruption, and bounding it caps allocation.
+	if count > uint64(len(rest)) {
+		return st, fmt.Errorf("snapshot: vote count %d exceeds payload capacity %d", count, len(rest))
+	}
+	st.Votes = make([]crowd.Vote, 0, count)
+	for i := uint64(0); i < count; i++ {
+		worker, err := readField("worker")
+		if err != nil {
+			return st, err
+		}
+		vi, err := readField("object i")
+		if err != nil {
+			return st, err
+		}
+		vj, err := readField("object j")
+		if err != nil {
+			return st, err
+		}
+		if len(rest) == 0 {
+			return st, fmt.Errorf("snapshot: vote %d missing preference byte", i)
+		}
+		pref := rest[0]
+		rest = rest[1:]
+		if pref > 1 {
+			return st, fmt.Errorf("snapshot: vote %d has preference byte %d", i, pref)
+		}
+		if worker >= maxID || vi >= maxID || vj >= maxID {
+			return st, fmt.Errorf("snapshot: vote %d outside the id space", i)
+		}
+		v := crowd.Vote{Worker: int(worker), I: int(vi), J: int(vj), PrefersI: pref == 1}
+		if err := v.Validate(st.N, st.M); err != nil {
+			return st, fmt.Errorf("snapshot: vote %d outside the declared universe: %w", i, err)
+		}
+		st.Votes = append(st.Votes, v)
+	}
+	if len(rest) != 0 {
+		return st, fmt.Errorf("snapshot: %d trailing bytes", len(rest))
+	}
+	return st, nil
+}
+
+// Write atomically persists st into dir as snapshot.<seq> and returns the
+// final path. The sequence of temp-write → fsync → rename → directory
+// fsync guarantees that after Write returns nil the snapshot survives
+// power loss, and that a crash at any earlier point leaves the previous
+// snapshots untouched. Leftover *.tmp files from crashed writers are
+// removed opportunistically.
+func Write(dir string, st State) (string, error) {
+	payload := encode(st)
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+
+	final := filepath.Join(dir, name(st.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: publishing %s: %w", final, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	removeStaleTmp(dir)
+	return final, nil
+}
+
+// Load reads and fully validates the snapshot at path. Any damage —
+// wrong magic, truncation, checksum mismatch, undecodable or
+// out-of-universe state — is an error; Load never returns a partial or
+// guessed State.
+func Load(path string) (State, error) {
+	var st State
+	info, err := os.Stat(path)
+	if err != nil {
+		return st, fmt.Errorf("snapshot: stat %s: %w", path, err)
+	}
+	if info.Size() > maxSnapshotBytes {
+		return st, fmt.Errorf("snapshot: %s is %d bytes, beyond the plausible maximum", path, info.Size())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return st, fmt.Errorf("snapshot: read %s: %w", path, err)
+	}
+	if len(data) < headerSize {
+		return st, fmt.Errorf("snapshot: %s too short for header (%d bytes)", path, len(data))
+	}
+	if string(data[:8]) != string(fileMagic) {
+		return st, fmt.Errorf("snapshot: %s has bad magic %q", path, data[:8])
+	}
+	want := binary.LittleEndian.Uint32(data[8:12])
+	length := binary.LittleEndian.Uint64(data[12:20])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != length {
+		return st, fmt.Errorf("snapshot: %s payload is %d bytes, header promises %d", path, len(payload), length)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return st, fmt.Errorf("snapshot: %s checksum mismatch: recorded %08x, computed %08x", path, want, got)
+	}
+	st, err = decode(payload)
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// List returns the snapshot files in dir, newest (highest covered
+// sequence) first. Files still mid-write (*.tmp) and unrelated names are
+// ignored. A missing directory lists as empty.
+func List(dir string) ([]Entry, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading directory %s: %w", dir, err)
+	}
+	var out []Entry
+	for _, e := range entries {
+		nm := e.Name()
+		if e.IsDir() || !strings.HasPrefix(nm, Prefix) || strings.HasSuffix(nm, ".tmp") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimPrefix(nm, Prefix), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Path: filepath.Join(dir, nm), Seq: seq})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq > out[b].Seq })
+	return out, nil
+}
+
+// Prune deletes all but the keep newest snapshots in dir and returns the
+// removed paths. The deletions are made durable with a directory fsync.
+func Prune(dir string, keep int) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := List(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) <= keep {
+		return nil, nil
+	}
+	var removed []string
+	for _, e := range entries[keep:] {
+		if err := os.Remove(e.Path); err != nil {
+			return removed, fmt.Errorf("snapshot: pruning %s: %w", e.Path, err)
+		}
+		removed = append(removed, e.Path)
+	}
+	if err := syncDir(dir); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// DiskUsage sums the sizes of all snapshot files in dir (including any
+// in-flight *.tmp), for operational reporting.
+func DiskUsage(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), Prefix) {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// removeStaleTmp clears crashed writers' leftovers; best-effort, errors
+// are ignored because a stray tmp file is harmless to correctness.
+func removeStaleTmp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		nm := e.Name()
+		if !e.IsDir() && strings.HasPrefix(nm, Prefix) && strings.HasSuffix(nm, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, nm))
+		}
+	}
+}
+
+// syncDir fsyncs dir so renames and removals are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: opening %s to sync: %w", dir, err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("snapshot: syncing directory %s: %w", dir, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("snapshot: closing directory %s: %w", dir, closeErr)
+	}
+	return nil
+}

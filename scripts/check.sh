@@ -25,8 +25,14 @@ go build ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
-echo "== chaos: SIGKILL mid-ingest recovery =="
+echo "== chaos: SIGKILL mid-ingest and mid-snapshot recovery =="
 go test -count=1 -run 'TestChaos' ./internal/serve
+
+echo "== fuzz smoke: journal replay =="
+go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=20s ./internal/serve
+
+echo "== fuzz smoke: snapshot load =="
+go test -run='^$' -fuzz=FuzzSnapshotLoad -fuzztime=20s ./internal/snapshot
 
 echo "== go test -tags crowdrank_invariants ./... =="
 go test -tags crowdrank_invariants ./...
