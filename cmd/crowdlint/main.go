@@ -1,8 +1,12 @@
 // Command crowdlint runs the repository's domain-specific static analyzer
-// (internal/lint) over the module: seeded-randomness discipline, float
-// comparison hygiene, context cancellation contracts, panic-free exported
-// library code, and discarded-error detection. It needs nothing beyond the
-// Go standard library.
+// (internal/lint) over the module. Eight checks gate the tree: seeded
+// randomness (globalrand), float comparison hygiene (floatcmp), context
+// cancellation contracts (ctxloop), panic-free exported library code
+// (panics), discarded and blank-discarded errors (errcheck), mutex
+// discipline with a cross-package lock-ordering graph (lockcheck),
+// goroutines without a shutdown path (goroleak), and the daemon's
+// durable-before-ack dataflow invariant (ackflow). It needs nothing beyond
+// the Go standard library.
 //
 // Usage:
 //
@@ -11,7 +15,8 @@
 // Packages are directories relative to the current module; the pattern
 // "./..." (the default) lints every package. The exit status is 0 when the
 // tree is clean, 1 when findings were reported, and 2 when the tree could
-// not be loaded.
+// not be loaded or type-checked (a build problem, never conflated with
+// findings).
 //
 // Findings can be suppressed with a `//lint:ignore <check> <reason>`
 // comment on, or directly above, the offending line; a directive without a
@@ -70,7 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	findings, err := lintPatterns(root, patterns, cfg)
 	if err != nil {
-		fmt.Fprintf(stderr, "crowdlint: %v\n", err)
+		// A package that fails to parse or type-check is a build problem,
+		// not a finding: report it distinctly and exit 2 so CI can tell
+		// "the tree is dirty" (1) from "the tool could not run" (2).
+		fmt.Fprintf(stderr, "crowdlint: cannot load packages: %v\n", err)
 		return 2
 	}
 

@@ -90,6 +90,40 @@ func TestRunChecksFlagRejectsUnknown(t *testing.T) {
 	}
 }
 
+func TestRunLoadErrorExitsTwo(t *testing.T) {
+	root := writeFixtureModule(t)
+	// A type error makes the package un-analyzable: the tool must exit 2
+	// with a load-specific message, print no findings, and never pretend
+	// the tree was linted.
+	src := `package p
+
+func Broken() int { return "not an int" }
+`
+	if err := os.WriteFile(filepath.Join(root, "p", "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("type-check failure must exit 2 (distinct from findings' 1), got %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cannot load packages") {
+		t.Fatalf("stderr should carry the load-error message: %q", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("a failed load must print no findings, got %q", stdout.String())
+	}
+
+	// The same failure under -json must not emit a bogus findings array.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json load failure must exit 2, got %d", code)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("-json load failure must print nothing on stdout, got %q", stdout.String())
+	}
+}
+
 func TestRunSinglePackagePattern(t *testing.T) {
 	writeFixtureModule(t)
 	var stdout, stderr bytes.Buffer

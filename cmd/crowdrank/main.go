@@ -490,4 +490,7 @@ func readJSON(path string, v any) error {
 // double-close safety net after the success path has already checked an
 // explicit Close, or on read-only files where a close error carries no
 // information.
-func closeQuietly(f *os.File) { _ = f.Close() }
+func closeQuietly(f *os.File) {
+	//lint:ignore errcheck deferred double-close safety net; the success path checks an explicit Close and read-only closes carry no information
+	_ = f.Close()
+}

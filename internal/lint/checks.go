@@ -8,8 +8,9 @@ import (
 	"strings"
 )
 
-// analyze runs every enabled check over one type-checked package and filters
-// the results through //lint:ignore suppressions.
+// analyze runs every enabled per-package check over one type-checked package
+// and returns the raw findings; suppression is applied once by the caller so
+// module-level passes see the same directives.
 func analyze(pkg *pkgInfo, cfg Config) []Finding {
 	enabled := cfg.enabled()
 	a := &analysis{pkg: pkg, cfg: cfg}
@@ -28,7 +29,17 @@ func analyze(pkg *pkgInfo, cfg Config) []Finding {
 	if enabled["errcheck"] {
 		a.checkErrcheck()
 	}
-	return suppress(pkg, a.findings)
+	if enabled["goroleak"] {
+		a.checkGoroleak()
+	}
+	if enabled["ackflow"] {
+		for _, rule := range cfg.ackflowRules() {
+			if rule.Pkg == pkg.importPath {
+				a.checkAckflow(rule)
+			}
+		}
+	}
+	return a.findings
 }
 
 type analysis struct {
@@ -318,6 +329,13 @@ func (a *analysis) checkErrcheck() {
 				call = s.Call
 			case *ast.GoStmt:
 				call = s.Call
+			case *ast.AssignStmt:
+				// `_ = f.Close()` / `_ = f.Sync()` silences the compiler
+				// but drops exactly the errors that report lost writes on
+				// close/flush. Other blank-assigned calls stay allowed —
+				// the blank is an explicit decision — but for Close/Sync
+				// the decision must carry a reason.
+				a.checkBlankCloseSync(s)
 			}
 			if call == nil || !returnsError(a.pkg.info, call) || a.exemptCallee(call) {
 				return true
@@ -327,6 +345,34 @@ func (a *analysis) checkErrcheck() {
 			return true
 		})
 	}
+}
+
+// checkBlankCloseSync flags single-assignment statements of the form
+// `_ = x.Close()` or `_ = x.Sync()` where the method returns an error.
+func (a *analysis) checkBlankCloseSync(s *ast.AssignStmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name != "_" {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+		return
+	}
+	if fn, ok := a.pkg.info.Uses[sel.Sel].(*types.Func); !ok || fn.Type().(*types.Signature).Recv() == nil {
+		return
+	}
+	if !returnsError(a.pkg.info, call) {
+		return
+	}
+	a.report(s.Pos(), "errcheck",
+		"error from %s is blank-discarded; a failed Close/Sync can mean lost writes — handle it, or suppress with the reason the loss is harmless", calleeName(call))
 }
 
 // returnsError reports whether the call yields an error among its results.
@@ -396,11 +442,11 @@ func calleeName(call *ast.CallExpr) string {
 
 const ignoreDirective = "//lint:ignore"
 
-// suppress drops findings covered by a well-formed //lint:ignore directive.
-// A directive covers its own line and the line below it (so it can trail a
-// statement or sit on the line above). Directives without a reason are
-// inert by design: every suppression must say why.
-func suppress(pkg *pkgInfo, findings []Finding) []Finding {
+// suppress drops findings covered by a well-formed //lint:ignore directive in
+// any of the given packages. A directive covers its own line and the line
+// below it (so it can trail a statement or sit on the line above). Directives
+// without a reason are inert by design: every suppression must say why.
+func suppress(pkgs []*pkgInfo, findings []Finding) []Finding {
 	// suppressed[file][line][check]
 	suppressed := make(map[string]map[int]map[string]bool)
 	mark := func(file string, line int, check string) {
@@ -412,21 +458,23 @@ func suppress(pkg *pkgInfo, findings []Finding) []Finding {
 		}
 		suppressed[file][line][check] = true
 	}
-	for _, f := range pkg.files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						continue // no check name or no reason: directive is inert
+					}
+					check := fields[0]
+					pos := pkg.fset.Position(c.Pos())
+					mark(pos.Filename, pos.Line, check)
+					mark(pos.Filename, pos.Line+1, check)
 				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // no check name or no reason: directive is inert
-				}
-				check := fields[0]
-				pos := pkg.fset.Position(c.Pos())
-				mark(pos.Filename, pos.Line, check)
-				mark(pos.Filename, pos.Line+1, check)
 			}
 		}
 	}

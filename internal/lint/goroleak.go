@@ -1,0 +1,96 @@
+package lint
+
+// goroleak: goroutines with no shutdown path. In a long-running package a
+// `go func` literal that captures neither a context.Context, nor any channel
+// (a done channel, a work channel it ranges over, a result channel it sends
+// on), nor a sync.WaitGroup can never be stopped or awaited — it outlives
+// Close and leaks across the daemon's drain. The check is syntactic over the
+// literal's body and call arguments; any of the three capture kinds counts,
+// as does an explicit select or channel operation.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func (a *analysis) checkGoroleak() {
+	if !a.cfg.longRunning()[a.pkg.importPath] {
+		return
+	}
+	for _, f := range a.pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if goroutineHasShutdownPath(a.pkg.info, lit, g.Call.Args) {
+				return true
+			}
+			a.report(g.Pos(), "goroleak",
+				"goroutine literal captures no context.Context, channel, or sync.WaitGroup; nothing can stop or await it — thread a cancellation signal through, or suppress with the reason its lifetime is bounded")
+			return true
+		})
+	}
+}
+
+// goroutineHasShutdownPath scans the literal (type, body) and the call's
+// arguments for any evidence of a stop/await mechanism.
+func goroutineHasShutdownPath(info *types.Info, lit *ast.FuncLit, args []ast.Expr) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil || obj.Type() == nil {
+				return true
+			}
+			if isShutdownCapture(obj.Type()) {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+				return false
+			}
+		}
+		return true
+	}
+	for _, arg := range args {
+		ast.Inspect(arg, check)
+	}
+	ast.Inspect(lit.Type, check)
+	ast.Inspect(lit.Body, check)
+	return found
+}
+
+func isShutdownCapture(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named := namedRecv(t); named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package lint
+
+import "testing"
+
+// goroCfg marks the fixture package long-running so goroleak applies.
+func goroCfg() Config {
+	return Config{Checks: []string{"goroleak"}, LongRunningPkgs: []string{"fixture/p"}}
+}
+
+func TestGoroleak(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		src  string
+		want int
+	}{
+		{
+			name: "bare goroutine with no shutdown path",
+			cfg:  goroCfg(),
+			src: `package p
+
+func Run() {
+	go func() {
+		for {
+			_ = work()
+		}
+	}()
+}
+
+func work() int { return 0 }
+`,
+			want: 1,
+		},
+		{
+			name: "captured context is a shutdown path",
+			cfg:  goroCfg(),
+			src: `package p
+
+import "context"
+
+func Run(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			_ = work()
+		}
+	}()
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name: "done channel is a shutdown path",
+			cfg:  goroCfg(),
+			src: `package p
+
+func Run(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = work()
+		}
+	}()
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name: "waitgroup worker is awaitable",
+			cfg:  goroCfg(),
+			src: `package p
+
+import "sync"
+
+func Run() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name: "channel passed as argument counts",
+			cfg:  goroCfg(),
+			src: `package p
+
+func Run(ch chan int) {
+	go func(out chan<- int) {
+		out <- work()
+	}(ch)
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name: "named goroutine funcs are out of scope",
+			cfg:  goroCfg(),
+			src: `package p
+
+func Run() {
+	go spin()
+}
+
+func spin() {
+	for {
+		_ = work()
+	}
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name: "not long-running package is exempt",
+			cfg:  Config{Checks: []string{"goroleak"}, LongRunningPkgs: []string{"fixture/other"}},
+			src: `package p
+
+func Run() {
+	go func() {
+		for {
+			_ = work()
+		}
+	}()
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+		{
+			name: "suppressed with reason",
+			cfg:  goroCfg(),
+			src: `package p
+
+func Run() {
+	//lint:ignore goroleak the loop is bounded by work() returning after a fixed number of steps
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = work()
+		}
+	}()
+}
+
+func work() int { return 0 }
+`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := lintFixture(t, tc.cfg, map[string]string{"a.go": tc.src})
+			if got := byCheck(fs)["goroleak"]; got != tc.want {
+				t.Fatalf("want %d goroleak findings, got %d: %v", tc.want, got, fs)
+			}
+		})
+	}
+}

@@ -23,8 +23,29 @@
 //     library errors must surface as errors, invariant violations through
 //     the invariant package.
 //   - errcheck: no discarded error returns in statement position (including
-//     defer and go); fmt printing and the never-failing in-memory writers
-//     (bytes.Buffer, strings.Builder) are exempt.
+//     defer and go) and no blank-discarded Close/Sync errors (`_ = f.Close()`);
+//     fmt printing and the never-failing in-memory writers (bytes.Buffer,
+//     strings.Builder) are exempt.
+//   - lockcheck: mutex discipline. Intra-procedurally, every sync.Mutex or
+//     sync.RWMutex Lock must be paired with an Unlock (explicit or deferred)
+//     on every return path, and no lock may be held across a blocking
+//     operation (file Write/Sync, channel send/receive, select without
+//     default, net/http calls, time.Sleep, WaitGroup.Wait) — directly or
+//     through a callee. Across packages, the check builds a lock-ordering
+//     graph from "lock B acquired while lock A held" edges (including
+//     acquisitions buried in callees) and reports any cycle as a potential
+//     deadlock.
+//   - goroleak: in long-running packages (the daemon and the searchers), a
+//     `go func` literal must capture a context.Context, a channel, or a
+//     sync.WaitGroup — some shutdown or completion path. A goroutine with
+//     none of these can never be stopped or awaited.
+//   - ackflow: the paper-level durability invariant. The crowdsourcing
+//     budget is spent in one non-interactive round, so an acknowledged vote
+//     batch must already be durable: no call path from an ingest source may
+//     reach an ack sink without passing the journal-append barrier first.
+//     Sources, sinks, and barriers are named in Config.Ackflow so the check
+//     survives refactors; configured names that no longer resolve are
+//     themselves findings.
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form
@@ -57,7 +78,7 @@ type Finding struct {
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
 	// Check names the rule that fired (globalrand, floatcmp, ctxloop,
-	// panics, errcheck).
+	// panics, errcheck, lockcheck, goroleak, ackflow).
 	Check string `json:"check"`
 	// Message explains the violation and the fix.
 	Message string `json:"message"`
@@ -68,7 +89,10 @@ func (f Finding) String() string {
 }
 
 // AllChecks lists every implemented check name.
-var AllChecks = []string{"globalrand", "floatcmp", "ctxloop", "panics", "errcheck"}
+var AllChecks = []string{
+	"globalrand", "floatcmp", "ctxloop", "panics", "errcheck",
+	"lockcheck", "goroleak", "ackflow",
+}
 
 // Config tunes a lint run. The zero value runs every check with no build
 // tags, which is what the tier-1 gate uses.
@@ -87,10 +111,16 @@ type Config struct {
 	// main is always exempt.
 	PanicExemptPkgs []string
 	// LongRunningPkgs lists import paths whose exported loop-bearing
-	// functions must be cancellable (ctxloop's third clause). Defaults to
+	// functions must be cancellable (ctxloop's third clause) and whose
+	// goroutine literals need a shutdown path (goroleak). Defaults to
 	// crowdrank/internal/search and crowdrank/internal/serve (the daemon
 	// engine: its request loops run under client deadlines) when nil.
 	LongRunningPkgs []string
+	// Ackflow names the durability dataflow rules checked by ackflow. Each
+	// rule is evaluated in the package it names. Defaults to the daemon's
+	// durable-before-ack contract (serve ingest must pass journal.Append
+	// before acking) when nil.
+	Ackflow []AckflowRule
 }
 
 func (c Config) floatExempt() map[string]bool {
@@ -158,7 +188,7 @@ func Dirs(root string, dirs []string, cfg Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
+	var requested []*pkgInfo
 	for _, dir := range dirs {
 		if !filepath.IsAbs(dir) {
 			dir = filepath.Join(absRoot, dir)
@@ -170,8 +200,25 @@ func Dirs(root string, dirs []string, cfg Config) ([]Finding, error) {
 			}
 			return nil, err
 		}
+		requested = append(requested, pkg)
+	}
+	var findings []Finding
+	for _, pkg := range requested {
 		findings = append(findings, analyze(pkg, cfg)...)
 	}
+	// lockcheck's ordering graph is a whole-module property: a cycle can
+	// span serve -> journal even when only serve was requested, and the
+	// summaries for transitively-called functions live in dependency
+	// packages. The module pass therefore walks every package the loader
+	// saw (requested or pulled in as an import) and reports findings only
+	// at positions inside the requested set.
+	if cfg.enabled()["lockcheck"] {
+		findings = append(findings, lockcheckModule(ld.loaded(), requested)...)
+	}
+	// Suppression directives are honored across every loaded package, not
+	// just the requested ones, so a module-pass finding positioned in a
+	// dependency file still sees that file's //lint:ignore comments.
+	findings = suppress(ld.loaded(), findings)
 	for i := range findings {
 		if rel, err := filepath.Rel(absRoot, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			findings[i].File = rel
@@ -349,6 +396,18 @@ func (ld *loader) loadDir(dir string) (*pkgInfo, error) {
 	pi := &pkgInfo{fset: ld.fset, files: files, pkg: pkg, info: info, importPath: importPath}
 	ld.cache[importPath] = pi
 	return pi, nil
+}
+
+// loaded returns every package the loader has type-checked — requested
+// packages and module-local dependencies alike — sorted by import path so
+// module-level passes are deterministic.
+func (ld *loader) loaded() []*pkgInfo {
+	out := make([]*pkgInfo, 0, len(ld.cache))
+	for _, pi := range ld.cache {
+		out = append(out, pi)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].importPath < out[b].importPath })
+	return out
 }
 
 // importPkg resolves an import encountered while type-checking: module-local

@@ -339,6 +339,63 @@ func Run(buf *bytes.Buffer) {
 			t.Fatalf("handled, blanked, and exempt calls must be clean, got %v", fs)
 		}
 	})
+	t.Run("blank-discarded Close and Sync", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"errcheck"}}, map[string]string{
+			"a.go": `package p
+
+import "os"
+
+func Run(f *os.File) {
+	_ = f.Sync()
+	defer func() { _ = f.Close() }()
+}
+`,
+		})
+		if got := byCheck(fs)["errcheck"]; got != 2 {
+			t.Fatalf("want 2 errcheck findings for blank-discarded Sync and Close, got %d: %v", got, fs)
+		}
+	})
+	t.Run("blank-discard of other calls stays allowed", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"errcheck"}}, map[string]string{
+			"a.go": `package p
+
+import "os"
+
+func fail() error { return nil }
+
+// Close on a type whose Close returns no error is out of scope too.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func Run(f *os.File, q quiet) {
+	_ = fail()
+	err := f.Close()
+	_ = err
+	q.Close()
+}
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("only error-returning Close/Sync blank-discards are findings, got %v", fs)
+		}
+	})
+	t.Run("blank-discarded Close suppressible with reason", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"errcheck"}}, map[string]string{
+			"a.go": `package p
+
+import "os"
+
+func Run(f *os.File) {
+	//lint:ignore errcheck the file was opened read-only; a close error cannot lose writes
+	_ = f.Close()
+}
+`,
+		})
+		if len(fs) != 0 {
+			t.Fatalf("reasoned suppression must silence the blank-discard finding, got %v", fs)
+		}
+	})
 }
 
 func TestSuppressionDirectives(t *testing.T) {

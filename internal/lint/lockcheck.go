@@ -1,0 +1,990 @@
+package lint
+
+// lockcheck: mutex discipline for the daemon's six-mutex concurrency model.
+//
+// The analysis runs in two layers. An intra-procedural walker interprets each
+// function body over an abstract lock state — the set of locks currently held
+// and the set of outstanding unlock obligations — merging branches by
+// intersection (a lock is "held" after an if only if every live path holds
+// it). The walker emits per-function findings (a return path that leaves a
+// lock held, a lock acquired in a loop body and still held at the end of the
+// iteration) and records a summary: every acquisition with the locks held at
+// that moment, every blocking operation, and every resolvable call.
+//
+// A module-level pass then combines the summaries. A function "may block" if
+// its body blocks or any transitive callee does; a call made while holding a
+// lock to a may-block function is reported just like a direct fsync under the
+// lock. The same snapshots yield lock-ordering edges — "B acquired (possibly
+// inside a callee) while A held" — over globally identifiable locks (struct
+// fields and package-level variables). Any cycle in that graph is a potential
+// deadlock and is reported at one of its constituent acquisition sites.
+//
+// The walker is deliberately conservative where precision would need a full
+// CFG: deferred unlocks (direct or inside a deferred closure) discharge the
+// obligation for the whole function, select commclauses do not double-count
+// the select's own blocking, and function literals are analyzed as separate
+// scopes starting from an empty lock state.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockKind distinguishes the write and read sides of an RWMutex; Lock/Unlock
+// and RLock/RUnlock pair within a kind.
+type lockKind int8
+
+const (
+	lockWrite lockKind = iota
+	lockRead
+)
+
+// lockKey identifies a mutex within one function body: the source text of the
+// expression it is locked through, plus the read/write side.
+type lockKey struct {
+	expr string
+	kind lockKind
+}
+
+func (k lockKey) String() string {
+	if k.kind == lockRead {
+		return k.expr + " (read)"
+	}
+	return k.expr
+}
+
+// heldLock is one lock held at a program point. globalID is the cross-package
+// identity ("pkgpath.Type.field" or "pkgpath.var") when the lock is a struct
+// field or package-level variable; empty for locals, which only participate
+// in intra-procedural findings.
+type heldLock struct {
+	key      lockKey
+	globalID string
+	pos      token.Pos
+}
+
+type eventKind int8
+
+const (
+	evAcquire eventKind = iota
+	evCall
+	evBlock
+)
+
+// lockEvent is one lock-relevant operation observed in a function body, with
+// a snapshot of the locks held when it fires (excluding, for evAcquire, the
+// lock being acquired).
+type lockEvent struct {
+	kind     eventKind
+	pos      token.Pos
+	held     []heldLock
+	globalID string      // evAcquire: global identity of the acquired lock ("" for locals)
+	callee   *types.Func // evCall
+	desc     string      // evBlock: human description of the blocking operation
+}
+
+// funcSummary is the per-function result of the intra-procedural walk.
+type funcSummary struct {
+	pkg  *pkgInfo
+	obj  *types.Func // nil for function literals
+	name string
+	// acquired maps each globally identifiable lock this body may acquire
+	// to one acquisition site, for transitive edge construction.
+	acquired map[string]token.Pos
+	events   []lockEvent
+	callees  []*types.Func
+	// blocks is true when the body contains a direct blocking operation.
+	blocks   bool
+	findings []Finding
+}
+
+// lockState is the abstract state at one program point.
+type lockState struct {
+	// oblig: locks this function must still release before returning.
+	// Discharged by an explicit unlock or a deferred one.
+	oblig map[lockKey]token.Pos
+	// held: locks currently held. Unlike oblig, a deferred unlock does NOT
+	// remove a lock from held — it stays held until function exit, which is
+	// exactly what blocking and ordering analysis must see.
+	held map[lockKey]heldLock
+}
+
+func newLockState() *lockState {
+	return &lockState{oblig: map[lockKey]token.Pos{}, held: map[lockKey]heldLock{}}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range st.oblig {
+		c.oblig[k] = v
+	}
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// intersectInto narrows st to the locks present in every exit state. Called
+// after a branch: a lock survives only if all live paths agree.
+func (st *lockState) intersectInto(exits []*lockState) {
+	if len(exits) == 0 {
+		return
+	}
+	st.oblig = exits[0].oblig
+	st.held = exits[0].held
+	for _, e := range exits[1:] {
+		for k := range st.oblig {
+			if _, ok := e.oblig[k]; !ok {
+				delete(st.oblig, k)
+			}
+		}
+		for k := range st.held {
+			if _, ok := e.held[k]; !ok {
+				delete(st.held, k)
+			}
+		}
+	}
+}
+
+func (st *lockState) snapshot() []heldLock {
+	out := make([]heldLock, 0, len(st.held))
+	for _, h := range st.held {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].key.expr != out[b].key.expr {
+			return out[a].key.expr < out[b].key.expr
+		}
+		return out[a].key.kind < out[b].key.kind
+	})
+	return out
+}
+
+// ---- intra-procedural walker -----------------------------------------------
+
+// lockCollector walks every function declaration (and queued literal) in one
+// package, producing one summary per body.
+type lockCollector struct {
+	pkg   *pkgInfo
+	sums  []*funcSummary
+	queue []litJob
+}
+
+type litJob struct {
+	lit  *ast.FuncLit
+	name string
+}
+
+// collectLockSummaries runs the intra-procedural walker over every function
+// body in pkg, in source order.
+func collectLockSummaries(pkg *pkgInfo) []*funcSummary {
+	c := &lockCollector{pkg: pkg}
+	for _, f := range pkg.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil {
+				name = recvTypeName(fd) + "." + name
+			}
+			obj, _ := pkg.info.Defs[fd.Name].(*types.Func)
+			c.runBody(obj, name, fd.Body)
+			// Literals discovered inside this declaration (including ones
+			// nested in other literals) analyze as independent scopes.
+			for i := 0; i < len(c.queue); i++ {
+				job := c.queue[i]
+				c.runBody(nil, job.name, job.lit.Body)
+			}
+			c.queue = c.queue[:0]
+		}
+	}
+	return c.sums
+}
+
+func (c *lockCollector) runBody(obj *types.Func, name string, body *ast.BlockStmt) {
+	sum := &funcSummary{pkg: c.pkg, obj: obj, name: name, acquired: map[string]token.Pos{}}
+	w := &lockWalker{pkg: c.pkg, sum: sum, col: c}
+	st := newLockState()
+	terminated := w.stmts(body.List, st)
+	if !terminated {
+		w.reportObligations(st, body.Rbrace, "reaches its end")
+	}
+	c.sums = append(c.sums, sum)
+}
+
+type lockWalker struct {
+	pkg *pkgInfo
+	sum *funcSummary
+	col *lockCollector
+	// muteBlock suppresses blocking events: inside a select's commclauses
+	// the select statement itself already carries the blocking semantics
+	// (or, with a default clause, there are none).
+	muteBlock int
+}
+
+func (w *lockWalker) queueLit(lit *ast.FuncLit) {
+	w.col.queue = append(w.col.queue, litJob{lit: lit, name: "func literal in " + w.sum.name})
+}
+
+func (w *lockWalker) finding(pos token.Pos, format string, args ...any) {
+	w.sum.findings = append(w.sum.findings, findingAt(w.pkg, pos, "lockcheck", format, args...))
+}
+
+// stmts walks a statement list; the return value reports whether control
+// definitely leaves the enclosing path (return, or break/continue/goto).
+func (w *lockWalker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.exprs(s.X, st)
+	case *ast.SendStmt:
+		w.exprs(s.Chan, st)
+		w.exprs(s.Value, st)
+		w.block(st, s.Arrow, "a channel send")
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprs(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.exprs(e, st)
+		}
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+	case *ast.GoStmt:
+		for _, e := range s.Call.Args {
+			w.exprs(e, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.queueLit(lit)
+		} else {
+			w.exprs(s.Call.Fun, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.exprs(e, st)
+		}
+		w.reportObligations(st, s.Pos(), "returns")
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the straight-line path; the state they
+		// carry rejoins at a loop boundary the walker does not model, so
+		// treat the path as terminated (conservative for fall-through).
+		return true
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.exprs(s.Cond, st)
+		}
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		w.reportLoopLeak(st, body)
+	case *ast.RangeStmt:
+		w.exprs(s.X, st)
+		if t := w.pkg.info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.block(st, s.For, "a range over a channel")
+			}
+		}
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		w.reportLoopLeak(st, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.exprs(s.Tag, st)
+		}
+		return w.clauses(s.Body.List, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.clauses(s.Body.List, st, false)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.block(st, s.Select, "a select with no default")
+		}
+		return w.clauses(s.Body.List, st, true)
+	default:
+		// Declarations, inc/dec, empty statements: scan any contained
+		// expressions.
+		w.exprs(s, st)
+	}
+	return false
+}
+
+func (w *lockWalker) ifStmt(s *ast.IfStmt, st *lockState) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	w.exprs(s.Cond, st)
+	body := st.clone()
+	bodyTerm := w.stmts(s.Body.List, body)
+	var exits []*lockState
+	if !bodyTerm {
+		exits = append(exits, body)
+	}
+	if s.Else == nil {
+		exits = append(exits, st.clone())
+	} else {
+		other := st.clone()
+		if !w.stmt(s.Else, other) {
+			exits = append(exits, other)
+		}
+	}
+	if len(exits) == 0 {
+		return true
+	}
+	st.intersectInto(exits)
+	return false
+}
+
+// clauses merges the case/comm clauses of a switch or select. inSelect mutes
+// per-clause blocking events (the select itself already counted, or a
+// default clause makes every comm non-blocking).
+func (w *lockWalker) clauses(list []ast.Stmt, st *lockState, inSelect bool) bool {
+	var exits []*lockState
+	hasDefault := false
+	for _, cs := range list {
+		branch := st.clone()
+		var body []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.exprs(e, branch)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				w.muteBlock++
+				w.stmt(cc.Comm, branch)
+				w.muteBlock--
+			}
+			body = cc.Body
+		}
+		if !w.stmts(body, branch) {
+			exits = append(exits, branch)
+		}
+	}
+	if !hasDefault {
+		// No default: the pre-state can fall through only for switches
+		// (no case matches); a select without default always takes a comm
+		// clause, but keeping the pre-state is a safe under-approximation
+		// of held locks either way.
+		exits = append(exits, st.clone())
+	}
+	if len(exits) == 0 {
+		return true
+	}
+	st.intersectInto(exits)
+	return false
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) deferStmt(s *ast.DeferStmt, st *lockState) {
+	for _, e := range s.Call.Args {
+		w.exprs(e, st)
+	}
+	if recv, method, ok := lockMethod(w.pkg.info, s.Call); ok {
+		if method == "Unlock" || method == "RUnlock" {
+			delete(st.oblig, lockKey{expr: types.ExprString(recv), kind: kindOfLockMethod(method)})
+		}
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure that unlocks (the `defer func() { ...Unlock()
+		// ... }()` idiom) discharges the obligation too.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, method, ok := lockMethod(w.pkg.info, call); ok && (method == "Unlock" || method == "RUnlock") {
+				delete(st.oblig, lockKey{expr: types.ExprString(recv), kind: kindOfLockMethod(method)})
+			}
+			return true
+		})
+		w.queueLit(lit)
+	}
+}
+
+// exprs scans an expression tree (or expression-bearing simple statement)
+// for lock operations, calls, and blocking receives. Function literals are
+// queued as independent scopes, not descended into.
+func (w *lockWalker) exprs(n ast.Node, st *lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.queueLit(x)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.block(st, x.OpPos, "a channel receive")
+			}
+		case *ast.CallExpr:
+			w.call(x, st)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) call(call *ast.CallExpr, st *lockState) {
+	if recv, method, ok := lockMethod(w.pkg.info, call); ok {
+		key := lockKey{expr: types.ExprString(recv), kind: kindOfLockMethod(method)}
+		switch method {
+		case "Lock", "RLock":
+			id := globalLockID(w.pkg.info, recv)
+			// Snapshot before recording the new lock so the acquire event
+			// sees only the locks held on entry.
+			w.sum.events = append(w.sum.events, lockEvent{
+				kind: evAcquire, pos: call.Pos(), held: st.snapshot(), globalID: id,
+			})
+			if id != "" {
+				if _, seen := w.sum.acquired[id]; !seen {
+					w.sum.acquired[id] = call.Pos()
+				}
+			}
+			st.oblig[key] = call.Pos()
+			st.held[key] = heldLock{key: key, globalID: id, pos: call.Pos()}
+		case "Unlock", "RUnlock":
+			delete(st.oblig, key)
+			delete(st.held, key)
+		}
+		return
+	}
+	callee := calleeFunc(w.pkg.info, call)
+	if callee == nil {
+		return
+	}
+	if desc, blocking := blockingCallee(callee); blocking {
+		w.block(st, call.Pos(), desc)
+		return
+	}
+	w.sum.callees = append(w.sum.callees, callee)
+	w.sum.events = append(w.sum.events, lockEvent{
+		kind: evCall, pos: call.Pos(), held: st.snapshot(), callee: callee,
+	})
+}
+
+func (w *lockWalker) block(st *lockState, pos token.Pos, desc string) {
+	if w.muteBlock > 0 {
+		return
+	}
+	w.sum.blocks = true
+	w.sum.events = append(w.sum.events, lockEvent{
+		kind: evBlock, pos: pos, held: st.snapshot(), desc: desc,
+	})
+}
+
+// reportObligations emits one finding per lock still owed when control leaves
+// the function (verb is "returns" or "reaches its end").
+func (w *lockWalker) reportObligations(st *lockState, pos token.Pos, verb string) {
+	keys := make([]lockKey, 0, len(st.oblig))
+	for k := range st.oblig {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].expr != keys[b].expr {
+			return keys[a].expr < keys[b].expr
+		}
+		return keys[a].kind < keys[b].kind
+	})
+	for _, k := range keys {
+		at := w.pkg.fset.Position(st.oblig[k])
+		w.finding(pos, "%s %s while %s is still locked (locked at line %d); unlock on every path or defer the unlock",
+			w.sum.name, verb, k, at.Line)
+	}
+}
+
+// reportLoopLeak flags locks acquired inside a loop body and still held when
+// the iteration ends: the next iteration would re-acquire and self-deadlock
+// (Mutex) or leak read locks (RWMutex).
+func (w *lockWalker) reportLoopLeak(pre, body *lockState) {
+	keys := make([]lockKey, 0, len(body.oblig))
+	for k := range body.oblig {
+		if _, outer := pre.oblig[k]; !outer {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].expr < keys[b].expr })
+	for _, k := range keys {
+		w.finding(body.oblig[k], "%s is locked inside the loop body and still held at the end of the iteration; the next iteration would deadlock",
+			k)
+	}
+}
+
+// ---- classification helpers -------------------------------------------------
+
+// lockMethod reports whether call is (R)Lock/(R)Unlock on a sync.Mutex or
+// sync.RWMutex, returning the receiver expression and method name.
+func lockMethod(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil, "", false
+	}
+	named := namedRecv(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+func kindOfLockMethod(method string) lockKind {
+	if method == "RLock" || method == "RUnlock" {
+		return lockRead
+	}
+	return lockWrite
+}
+
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// globalLockID gives a lock expression a cross-package identity: a struct
+// field becomes "pkgpath.Type.field", a package-level variable "pkgpath.var".
+// Locals return "".
+func globalLockID(info *types.Info, recv ast.Expr) string {
+	switch e := recv.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named := namedRecv(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + s.Obj().Name()
+			}
+		}
+	}
+	return ""
+}
+
+// shortLockID trims the import-path prefix of a global lock ID for messages:
+// "crowdrank/internal/serve.Server.writeMu" -> "serve.Server.writeMu".
+func shortLockID(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// calleeFunc resolves a call to its *types.Func when the callee is a plain
+// function or method reference (not a func-typed variable or conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// osFileBlocking lists *os.File methods that hit the disk.
+var osFileBlocking = map[string]bool{
+	"Sync": true, "Write": true, "WriteString": true, "WriteAt": true,
+	"Read": true, "ReadAt": true, "ReadFrom": true, "Truncate": true,
+}
+
+// osPkgBlocking lists os package functions that hit the disk.
+var osPkgBlocking = map[string]bool{
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "ReadDir": true, "Open": true, "OpenFile": true,
+	"Create": true, "Mkdir": true, "MkdirAll": true, "Stat": true,
+}
+
+// blockingCallee classifies callees that block by their nature: file I/O,
+// anything in net/http, time.Sleep, and WaitGroup.Wait.
+func blockingCallee(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		named := namedRecv(sig.Recv().Type())
+		if named == nil || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		owner := named.Obj().Pkg().Path()
+		switch {
+		case owner == "os" && named.Obj().Name() == "File" && osFileBlocking[fn.Name()]:
+			return "os.File." + fn.Name(), true
+		case owner == "sync" && named.Obj().Name() == "WaitGroup" && fn.Name() == "Wait":
+			return "sync.WaitGroup.Wait", true
+		case owner == "net/http":
+			return "a net/http call", true
+		}
+		return "", false
+	}
+	switch pkg.Path() {
+	case "os":
+		if osPkgBlocking[fn.Name()] {
+			return "os." + fn.Name(), true
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net/http":
+		return "a net/http call", true
+	}
+	return "", false
+}
+
+// funcDisplay renders a callee for messages: "journal.Journal.Append".
+func funcDisplay(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedRecv(sig.Recv().Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		p := fn.Pkg().Path()
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			p = p[i+1:]
+		}
+		name = p + "." + name
+	}
+	return name
+}
+
+// findingAt builds a Finding at a position in pkg (the free-function twin of
+// analysis.report, for passes that run without an analysis).
+func findingAt(pkg *pkgInfo, pos token.Pos, check, format string, args ...any) Finding {
+	p := pkg.fset.Position(pos)
+	return Finding{
+		File:    p.Filename,
+		Line:    p.Line,
+		Col:     p.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// ---- module-level pass ------------------------------------------------------
+
+// lockcheckModule combines per-function summaries from every loaded package
+// into transitive may-block and may-acquire facts, then reports
+// blocking-while-held findings and lock-ordering cycles. Findings are
+// emitted only at positions inside the requested packages.
+func lockcheckModule(all, requested []*pkgInfo) []Finding {
+	reqSet := make(map[string]bool, len(requested))
+	for _, p := range requested {
+		reqSet[p.importPath] = true
+	}
+	var sums []*funcSummary
+	byObj := map[*types.Func]*funcSummary{}
+	for _, pkg := range all {
+		for _, s := range collectLockSummaries(pkg) {
+			sums = append(sums, s)
+			if s.obj != nil {
+				byObj[s.obj] = s
+			}
+		}
+	}
+	m := &lockModule{byObj: byObj, blocksMemo: map[*funcSummary]int8{}, acqMemo: map[*funcSummary]map[string]token.Pos{}}
+
+	var findings []Finding
+	for _, s := range sums {
+		if reqSet[s.pkg.importPath] {
+			findings = append(findings, s.findings...)
+		}
+	}
+	findings = append(findings, m.blockingFindings(sums, reqSet)...)
+	findings = append(findings, m.cycleFindings(sums, reqSet)...)
+	return findings
+}
+
+type lockModule struct {
+	byObj      map[*types.Func]*funcSummary
+	blocksMemo map[*funcSummary]int8 // 0 unvisited, 1 visiting, 2 no, 3 yes
+	acqMemo    map[*funcSummary]map[string]token.Pos
+}
+
+// mayBlock reports whether s or any transitive callee with a known body
+// performs a blocking operation.
+func (m *lockModule) mayBlock(s *funcSummary) bool {
+	switch m.blocksMemo[s] {
+	case 1: // recursion: assume the cycle itself does not block
+		return false
+	case 2:
+		return false
+	case 3:
+		return true
+	}
+	m.blocksMemo[s] = 1
+	out := s.blocks
+	if !out {
+		for _, c := range s.callees {
+			if cs := m.byObj[c]; cs != nil && m.mayBlock(cs) {
+				out = true
+				break
+			}
+		}
+	}
+	if out {
+		m.blocksMemo[s] = 3
+	} else {
+		m.blocksMemo[s] = 2
+	}
+	return out
+}
+
+// transitiveAcquires returns every globally identifiable lock s may acquire,
+// directly or through callees, mapped to one representative site.
+func (m *lockModule) transitiveAcquires(s *funcSummary) map[string]token.Pos {
+	if acq, ok := m.acqMemo[s]; ok {
+		return acq
+	}
+	// Seed the memo with the direct set to cut recursion; the fixed point
+	// over-approximates nothing the daemon has (no recursive lockers).
+	out := make(map[string]token.Pos, len(s.acquired))
+	for id, pos := range s.acquired {
+		out[id] = pos
+	}
+	m.acqMemo[s] = out
+	for _, c := range s.callees {
+		if cs := m.byObj[c]; cs != nil {
+			for id, pos := range m.transitiveAcquires(cs) {
+				if _, ok := out[id]; !ok {
+					out[id] = pos
+				}
+			}
+		}
+	}
+	return out
+}
+
+// blockingFindings reports each lock held across a blocking operation —
+// direct, or a call to a function that may block — once per (function, lock).
+func (m *lockModule) blockingFindings(sums []*funcSummary, reqSet map[string]bool) []Finding {
+	var findings []Finding
+	for _, s := range sums {
+		if !reqSet[s.pkg.importPath] {
+			continue
+		}
+		seen := map[lockKey]bool{}
+		for _, ev := range s.events {
+			if len(ev.held) == 0 {
+				continue
+			}
+			var desc string
+			switch ev.kind {
+			case evBlock:
+				desc = ev.desc
+			case evCall:
+				if cs := m.byObj[ev.callee]; cs != nil && m.mayBlock(cs) {
+					desc = "a call to " + funcDisplay(ev.callee) + ", which may block"
+				}
+			}
+			if desc == "" {
+				continue
+			}
+			for _, h := range ev.held {
+				if seen[h.key] {
+					continue
+				}
+				seen[h.key] = true
+				findings = append(findings, findingAt(s.pkg, ev.pos, "lockcheck",
+					"%s holds %s across %s; move the blocking work outside the critical section, or suppress with the reason the wait is deliberate",
+					s.name, h.key, desc))
+			}
+		}
+	}
+	return findings
+}
+
+// lockEdge is one "to acquired while from held" observation.
+type lockEdge struct {
+	from, to string
+	pkg      *pkgInfo
+	pos      token.Pos
+	inReq    bool
+}
+
+// cycleFindings builds the global lock-ordering graph and reports each
+// distinct cycle once, positioned at a constituent edge (preferring one
+// inside the requested packages).
+func (m *lockModule) cycleFindings(sums []*funcSummary, reqSet map[string]bool) []Finding {
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(from, to string, pkg *pkgInfo, pos token.Pos) {
+		key := [2]string{from, to}
+		inReq := reqSet[pkg.importPath]
+		if prev, ok := edges[key]; ok && (prev.inReq || !inReq) {
+			return
+		}
+		edges[key] = lockEdge{from: from, to: to, pkg: pkg, pos: pos, inReq: inReq}
+	}
+	for _, s := range sums {
+		for _, ev := range s.events {
+			if len(ev.held) == 0 {
+				continue
+			}
+			var acq map[string]token.Pos
+			switch ev.kind {
+			case evAcquire:
+				if ev.globalID != "" {
+					acq = map[string]token.Pos{ev.globalID: ev.pos}
+				}
+			case evCall:
+				if cs := m.byObj[ev.callee]; cs != nil {
+					acq = m.transitiveAcquires(cs)
+				}
+			}
+			for _, h := range ev.held {
+				if h.globalID == "" {
+					continue
+				}
+				for id := range acq {
+					addEdge(h.globalID, id, s.pkg, ev.pos)
+				}
+			}
+		}
+	}
+	// Deterministic adjacency.
+	adj := map[string][]string{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		sort.Strings(adj[n])
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var findings []Finding
+	seenCycle := map[string]bool{}
+	onPath := map[string]int{} // node -> index in path, -1 when done
+	var path []string
+	var dfs func(n string)
+	dfs = func(n string) {
+		onPath[n] = len(path)
+		path = append(path, n)
+		for _, next := range adj[n] {
+			if idx, ok := onPath[next]; ok {
+				if idx >= 0 {
+					cycle := append([]string(nil), path[idx:]...)
+					findings = append(findings, m.cycleFinding(cycle, edges, seenCycle)...)
+				}
+				continue
+			}
+			dfs(next)
+		}
+		path = path[:len(path)-1]
+		onPath[n] = -1
+	}
+	for _, n := range nodes {
+		if _, ok := onPath[n]; !ok {
+			dfs(n)
+		}
+	}
+	return findings
+}
+
+// cycleFinding canonicalizes one cycle (rotation to its smallest node) and,
+// if unseen, renders it as a finding at the best available edge site.
+func (m *lockModule) cycleFinding(cycle []string, edges map[[2]string]lockEdge, seen map[string]bool) []Finding {
+	min := 0
+	for i, n := range cycle {
+		if n < cycle[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	key := strings.Join(rot, "->")
+	if seen[key] {
+		return nil
+	}
+	seen[key] = true
+	// Pick the reporting edge: prefer one observed in a requested package.
+	var at lockEdge
+	found := false
+	for i := range rot {
+		e, ok := edges[[2]string{rot[i], rot[(i+1)%len(rot)]}]
+		if !ok {
+			continue
+		}
+		if !found || (e.inReq && !at.inReq) {
+			at, found = e, true
+		}
+	}
+	if !found || !at.inReq {
+		return nil
+	}
+	parts := make([]string, 0, len(rot)+1)
+	for _, n := range rot {
+		parts = append(parts, shortLockID(n))
+	}
+	parts = append(parts, shortLockID(rot[0]))
+	return []Finding{findingAt(at.pkg, at.pos, "lockcheck",
+		"lock-ordering cycle %s (this site acquires %s while holding %s); pick one global acquisition order to avoid deadlock",
+		strings.Join(parts, " -> "), shortLockID(at.to), shortLockID(at.from))}
+}

@@ -1,0 +1,534 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintFixturePkgs writes a throwaway module holding several packages and
+// lints only the directories named in lintDirs (all of them when nil), so
+// cross-package passes can be exercised with dependencies outside the
+// requested set.
+func lintFixturePkgs(t *testing.T, cfg Config, pkgs map[string]map[string]string, lintDirs []string) []Finding {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for pkg, files := range pkgs {
+		dir := filepath.Join(root, pkg)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if lintDirs == nil {
+		for pkg := range pkgs {
+			lintDirs = append(lintDirs, pkg)
+		}
+	}
+	dirs := make([]string, len(lintDirs))
+	for i, d := range lintDirs {
+		dirs[i] = filepath.Join(root, d)
+	}
+	findings, err := Dirs(root, dirs, cfg)
+	if err != nil {
+		t.Fatalf("lint failed: %v", err)
+	}
+	return findings
+}
+
+func messagesContaining(fs []Finding, check, substr string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check && strings.Contains(f.Message, substr) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestLockcheckUnpairedLock(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int    // lockcheck findings
+		hint string // substring expected in some finding
+	}{
+		{
+			name: "lock never released",
+			src: `package p
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad() {
+	s.mu.Lock()
+}
+`,
+			want: 1,
+			hint: "still locked",
+		},
+		{
+			name: "return path leaves lock held",
+			src: `package p
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad(x int) int {
+	s.mu.Lock()
+	if x > 0 {
+		return x // forgot to unlock
+	}
+	s.mu.Unlock()
+	return 0
+}
+`,
+			want: 1,
+			hint: "returns while s.mu is still locked",
+		},
+		{
+			name: "deferred unlock is clean",
+			src: `package p
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Good(x int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+`,
+			want: 0,
+		},
+		{
+			name: "per-branch unlock before return is clean",
+			src: `package p
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Good(x int) int {
+	s.mu.Lock()
+	if x > 0 {
+		s.mu.Unlock()
+		return x
+	}
+	s.mu.Unlock()
+	return 0
+}
+`,
+			want: 0,
+		},
+		{
+			name: "deferred closure unlock is clean",
+			src: `package p
+
+import "sync"
+
+type S struct {
+	mu  sync.Mutex
+	n   int
+}
+
+func (s *S) Good() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+`,
+			want: 0,
+		},
+		{
+			name: "rwmutex read and write sides pair independently",
+			src: `package p
+
+import "sync"
+
+type S struct{ mu sync.RWMutex }
+
+func (s *S) Bad() {
+	s.mu.RLock()
+	s.mu.Unlock() // wrong side: the read lock is still owed
+}
+`,
+			want: 1,
+			hint: "(read)",
+		},
+		{
+			name: "lock acquired in loop body and never released",
+			src: `package p
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad(xs []int) {
+	for range xs {
+		s.mu.Lock()
+	}
+}
+`,
+			want: 1,
+			hint: "next iteration",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := lintFixture(t, Config{Checks: []string{"lockcheck"}}, map[string]string{"a.go": tc.src})
+			if got := byCheck(fs)["lockcheck"]; got != tc.want {
+				t.Fatalf("want %d lockcheck findings, got %d: %v", tc.want, got, fs)
+			}
+			if tc.hint != "" && len(messagesContaining(fs, "lockcheck", tc.hint)) == 0 {
+				t.Fatalf("no finding mentions %q: %v", tc.hint, fs)
+			}
+		})
+	}
+}
+
+func TestLockcheckBlockingWhileHeld(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+		hint string
+	}{
+		{
+			name: "file sync under lock",
+			src: `package p
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad(f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.Sync()
+}
+`,
+			want: 1,
+			hint: "os.File.Sync",
+		},
+		{
+			name: "channel send under lock",
+			src: `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) Bad() {
+	s.mu.Lock()
+	s.ch <- 1
+	s.mu.Unlock()
+}
+`,
+			want: 1,
+			hint: "channel send",
+		},
+		{
+			name: "blocking call through a callee",
+			src: `package p
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (s *S) flush() error { return s.f.Sync() }
+
+func (s *S) Bad() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush()
+}
+`,
+			want: 1,
+			hint: "may block",
+		},
+		{
+			name: "blocking after unlock is clean",
+			src: `package p
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Good(f *os.File) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return f.Sync()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "select with default is non-blocking",
+			src: `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) Good() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "suppressed with reason",
+			src: `package p
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Deliberate(f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockcheck durability requires the fsync inside the critical section
+	return f.Sync()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "directive without reason stays inert",
+			src: `package p
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad(f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockcheck
+	return f.Sync()
+}
+`,
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := lintFixture(t, Config{Checks: []string{"lockcheck"}}, map[string]string{"a.go": tc.src})
+			if got := byCheck(fs)["lockcheck"]; got != tc.want {
+				t.Fatalf("want %d lockcheck findings, got %d: %v", tc.want, got, fs)
+			}
+			if tc.hint != "" && len(messagesContaining(fs, "lockcheck", tc.hint)) == 0 {
+				t.Fatalf("no finding mentions %q: %v", tc.hint, fs)
+			}
+		})
+	}
+}
+
+func TestLockcheckOrderingCycle(t *testing.T) {
+	t.Run("direct inversion", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"lockcheck"}}, map[string]string{
+			"a.go": `package p
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) AB() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		})
+		if got := len(messagesContaining(fs, "lockcheck", "lock-ordering cycle")); got != 1 {
+			t.Fatalf("want exactly 1 cycle finding for the a/b inversion, got %d: %v", got, fs)
+		}
+	})
+	t.Run("inversion through a callee", func(t *testing.T) {
+		fs := lintFixture(t, Config{Checks: []string{"lockcheck"}}, map[string]string{
+			"a.go": `package p
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) AB() {
+	s.a.Lock()
+	s.lockB() // acquires b while a held, one call deep
+	s.a.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+		})
+		if got := len(messagesContaining(fs, "lockcheck", "lock-ordering cycle")); got != 1 {
+			t.Fatalf("want 1 cycle finding through the callee, got %d: %v", got, fs)
+		}
+	})
+	t.Run("consistent order across packages is clean", func(t *testing.T) {
+		fs := lintFixturePkgs(t, Config{Checks: []string{"lockcheck"}}, map[string]map[string]string{
+			"q": {"q.go": `package q
+
+import "sync"
+
+type J struct{ Mu sync.Mutex }
+
+func (j *J) Append() {
+	j.Mu.Lock()
+	j.Mu.Unlock()
+}
+`},
+			"p": {"p.go": `package p
+
+import (
+	"sync"
+
+	"fixture/q"
+)
+
+type S struct {
+	mu  sync.Mutex
+	jnl *q.J
+}
+
+func (s *S) Ingest() {
+	s.mu.Lock()
+	s.jnl.Append() // p.mu -> q.Mu, never inverted
+	s.mu.Unlock()
+}
+`},
+		}, nil)
+		if len(fs) != 0 {
+			t.Fatalf("a one-directional cross-package edge must be clean, got %v", fs)
+		}
+	})
+	t.Run("cross-package blocking surfaces in the requested package only", func(t *testing.T) {
+		pkgs := map[string]map[string]string{
+			"q": {"q.go": `package q
+
+import (
+	"os"
+	"sync"
+)
+
+type J struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (j *J) Append(b []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.f.Write(b)
+	return err
+}
+`},
+			"p": {"p.go": `package p
+
+import (
+	"sync"
+
+	"fixture/q"
+)
+
+type S struct {
+	mu  sync.Mutex
+	jnl *q.J
+}
+
+func (s *S) Ingest(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jnl.Append(b)
+}
+`},
+		}
+		// Linting only p: p's lock-across-Append is reported (Append may
+		// block through its file write), q's own finding is out of scope.
+		fs := lintFixturePkgs(t, Config{Checks: []string{"lockcheck"}}, pkgs, []string{"p"})
+		if got := byCheck(fs)["lockcheck"]; got != 1 {
+			t.Fatalf("want 1 finding in p only, got %d: %v", got, fs)
+		}
+		if len(messagesContaining(fs, "lockcheck", "q.J.Append")) != 1 {
+			t.Fatalf("finding should name the blocking callee q.J.Append: %v", fs)
+		}
+		for _, f := range fs {
+			if !strings.Contains(f.File, "p") || strings.Contains(f.File, "q.go") {
+				t.Fatalf("finding positioned outside the requested package: %v", f)
+			}
+		}
+	})
+}

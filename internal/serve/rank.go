@@ -125,6 +125,7 @@ func (s *Server) RankContext(ctx context.Context) (*RankResult, error) {
 		return finish(identity, 0)
 	}
 
+	//lint:ignore lockcheck the shared closeMu read lock intentionally spans the whole inference (closure build and searchers) so Close's drain waits for in-flight ranks instead of yanking state from under them
 	closure, err := s.closure(votes, gen)
 	if err != nil {
 		return nil, err

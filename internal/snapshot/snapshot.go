@@ -219,11 +219,13 @@ func Write(dir string, st State) (string, error) {
 		return "", fmt.Errorf("snapshot: creating %s: %w", tmp, err)
 	}
 	if _, err := f.Write(buf); err != nil {
+		//lint:ignore errcheck error-path cleanup of the abandoned temp file; the write error is already being returned
 		_ = f.Close()
 		_ = os.Remove(tmp)
 		return "", fmt.Errorf("snapshot: writing %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
+		//lint:ignore errcheck error-path cleanup of the abandoned temp file; the sync error is already being returned
 		_ = f.Close()
 		_ = os.Remove(tmp)
 		return "", fmt.Errorf("snapshot: syncing %s: %w", tmp, err)

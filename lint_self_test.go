@@ -6,6 +6,25 @@ import (
 	"crowdrank/internal/lint"
 )
 
+// TestCrowdlintAllChecksRegistered pins the check roster: the concurrency
+// and durability checks added for the daemon must stay enabled by default,
+// because `go run ./cmd/crowdlint ./...` (check.sh, CI) runs the default
+// set. Dropping a name here is how a check would silently stop gating.
+func TestCrowdlintAllChecksRegistered(t *testing.T) {
+	want := []string{
+		"globalrand", "floatcmp", "ctxloop", "panics", "errcheck",
+		"lockcheck", "goroleak", "ackflow",
+	}
+	if len(lint.AllChecks) != len(want) {
+		t.Fatalf("AllChecks = %v, want %v", lint.AllChecks, want)
+	}
+	for i, name := range want {
+		if lint.AllChecks[i] != name {
+			t.Fatalf("AllChecks[%d] = %q, want %q (full set %v)", i, lint.AllChecks[i], name, lint.AllChecks)
+		}
+	}
+}
+
 // TestCrowdlintSelf runs the domain linter over the whole module with the
 // default configuration — the same invocation as `go run ./cmd/crowdlint
 // ./...` in scripts/check.sh — and fails on any finding. Keeping the tree

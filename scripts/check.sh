@@ -16,7 +16,7 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== crowdlint ./... =="
+echo "== crowdlint ./... (all 8 checks incl. lockcheck/goroleak/ackflow) =="
 go run ./cmd/crowdlint ./...
 
 echo "== go build ./... =="
