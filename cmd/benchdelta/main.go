@@ -1,0 +1,179 @@
+// Command benchdelta compares two `go test -bench` outputs and reports
+// the per-benchmark change in ns/op, benchstat-style but dependency-free.
+// It exists so scripts/check.sh can flag performance regressions on the
+// hot inference paths (BenchmarkInfer, BenchmarkPlanTasks) without
+// pulling golang.org/x/perf into the module.
+//
+// Usage:
+//
+//	benchdelta -old baseline.txt -new current.txt [-threshold 25]
+//
+// Each input is raw `go test -bench` output; when a benchmark appears
+// several times (-count > 1) its runs are averaged, which damps scheduler
+// noise the same way benchstat's mean does. The report lists every
+// benchmark present in either file. With -threshold 0 (the default) the
+// exit status is always 0 and the table is informational; with a positive
+// threshold the command exits 1 when any benchmark present in both files
+// slowed down by more than that percentage.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression distinguishes "a benchmark got slower" from usage and
+// parse failures; main maps every error to exit 1 either way, but tests
+// assert on the message.
+type errRegression struct{ msg string }
+
+func (e errRegression) Error() string { return e.msg }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	fs.SetOutput(out)
+	oldPath := fs.String("old", "", "baseline `go test -bench` output (required)")
+	newPath := fs.String("new", "", "current `go test -bench` output (required)")
+	threshold := fs.Float64("threshold", 0, "fail when any benchmark slows down more than this percent (0: report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("-old and -new are both required")
+	}
+	oldNs, err := parseBenchFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newNs, err := parseBenchFile(*newPath)
+	if err != nil {
+		return err
+	}
+	if len(oldNs) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", *oldPath)
+	}
+	if len(newNs) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", *newPath)
+	}
+
+	names := make(map[string]bool, len(oldNs)+len(newNs))
+	for n := range oldNs {
+		names[n] = true
+	}
+	for n := range newNs {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	w := bufio.NewWriter(out)
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressions []string
+	for _, name := range sorted {
+		o, haveOld := oldNs[name]
+		n, haveNew := newNs[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-40s %14s %14.0f %9s\n", name, "-", n, "new")
+		case !haveNew:
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s\n", name, o, "-", "gone")
+		default:
+			delta := (n - o) / o * 100
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%\n", name, o, n, delta)
+			if *threshold > 0 && delta > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s slowed down %.1f%% (threshold %.1f%%)", name, delta, *threshold))
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		return errRegression{strings.Join(regressions, "; ")}
+	}
+	return nil
+}
+
+// parseBenchFile extracts mean ns/op per benchmark from raw `go test
+// -bench` output. Lines look like:
+//
+//	BenchmarkInfer/n=50-8   	     100	   2130789 ns/op
+//
+// The trailing -P GOMAXPROCS suffix is stripped so baselines recorded on
+// machines with different core counts still compare.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		// Read-only descriptor: nothing to flush, nothing lost on error.
+		//lint:ignore errcheck read-only close has no observable failure mode
+		f.Close()
+	}()
+
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// name, iterations, value, "ns/op", [more metric pairs...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		ns := -1.0
+		for i := 3; i < len(fields); i += 2 {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q: %w", path, sc.Text(), err)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		sums[name] += ns
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	for name := range sums {
+		sums[name] /= float64(counts[name])
+	}
+	return sums, nil
+}
+
+// stripProcSuffix removes the trailing -8 style GOMAXPROCS marker go
+// test appends to benchmark names.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

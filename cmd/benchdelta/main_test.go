@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBench = `goos: linux
+goarch: amd64
+pkg: crowdrank
+BenchmarkInfer/n=50-8         	      10	   1000000 ns/op
+BenchmarkInfer/n=50-8         	      10	   1200000 ns/op
+BenchmarkPlanTasks/n=100-8    	     100	     50000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkRetired-8            	     100	     10000 ns/op
+PASS
+`
+
+const newBench = `goos: linux
+goarch: amd64
+pkg: crowdrank
+BenchmarkInfer/n=50-16        	      10	   1650000 ns/op
+BenchmarkPlanTasks/n=100-16   	     100	     49000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkFresh-16             	     100	     10000 ns/op
+PASS
+`
+
+func TestBenchdeltaReport(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	newPath := writeBench(t, "new.txt", newBench)
+	var out bytes.Buffer
+	if err := run([]string{"-old", oldPath, "-new", newPath}, &out); err != nil {
+		t.Fatalf("report-only run failed: %v", err)
+	}
+	report := out.String()
+	// Repeated runs average (1.0ms + 1.2ms -> 1.1ms) and the -P suffix is
+	// stripped, so differing GOMAXPROCS still line up.
+	if !strings.Contains(report, "BenchmarkInfer/n=50") || !strings.Contains(report, "+50.0%") {
+		t.Fatalf("want averaged +50%% delta for BenchmarkInfer/n=50, got:\n%s", report)
+	}
+	if !strings.Contains(report, "-2.0%") {
+		t.Fatalf("want -2.0%% delta for BenchmarkPlanTasks/n=100, got:\n%s", report)
+	}
+	if !strings.Contains(report, "gone") || !strings.Contains(report, "new") {
+		t.Fatalf("want one-sided benchmarks marked, got:\n%s", report)
+	}
+}
+
+func TestBenchdeltaThreshold(t *testing.T) {
+	oldPath := writeBench(t, "old.txt", oldBench)
+	newPath := writeBench(t, "new.txt", newBench)
+
+	var out bytes.Buffer
+	err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "25"}, &out)
+	if err == nil {
+		t.Fatal("a 50% regression must fail a 25% threshold")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkInfer/n=50") {
+		t.Fatalf("regression error should name the benchmark, got: %v", err)
+	}
+
+	// A generous threshold passes; improvements never fail it.
+	out.Reset()
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "75"}, &out); err != nil {
+		t.Fatalf("within-threshold run failed: %v", err)
+	}
+}
+
+func TestBenchdeltaRejectsBadInput(t *testing.T) {
+	empty := writeBench(t, "empty.txt", "PASS\n")
+	good := writeBench(t, "good.txt", oldBench)
+	var out bytes.Buffer
+	if err := run([]string{"-old", empty, "-new", good}, &out); err == nil {
+		t.Fatal("an empty baseline must be an error, not a silent pass")
+	}
+	if err := run([]string{"-old", good}, &out); err == nil {
+		t.Fatal("missing -new must be an error")
+	}
+	if err := run([]string{"-old", good, "-new", filepath.Join(t.TempDir(), "absent.txt")}, &out); err == nil {
+		t.Fatal("an unreadable input must be an error")
+	}
+}

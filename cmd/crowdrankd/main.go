@@ -8,6 +8,7 @@
 //	           [-fsync always|os] [-parallelism P] [-exact-limit K]
 //	           [-snapshot-every N] [-max-journal-bytes M]
 //	           [-drain 10s] [-addr-file path]
+//	           [-pprof addr] [-slow-request 1s]
 //
 // Endpoints:
 //
@@ -15,10 +16,18 @@
 //	GET  /rank       ?deadline_ms=50 bounds inference; degraded answers
 //	                 still return 200 and name the algorithm used
 //	POST /snapshot   take a state snapshot now and compact the journal
+//	GET  /metrics    Prometheus text exposition: ingest/rank counters,
+//	                 per-stage latency histograms, journal and snapshot
+//	                 timings, queue depths, breaker state
 //	GET  /healthz    operational stats (journal/snapshot disk usage,
 //	                 segment count, last snapshot, last sync error)
 //	GET  /readyz     503 once shutdown has begun or a disk fault has
 //	                 poisoned the journal
+//
+// -pprof serves net/http/pprof on a SEPARATE listener (loopback it in
+// production); profiling never shares the public API port. Requests
+// slower than -slow-request are logged and counted in
+// crowdrankd_http_slow_requests_total (negative disables).
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops, in-flight
 // requests drain (bounded by -drain), and the journal is synced and closed.
@@ -37,6 +46,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +79,8 @@ func run(args []string, out io.Writer) error {
 	exactLimit := fs.Int("exact-limit", 0, "largest n solved with Held-Karp (0: default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled)")
+	slowReq := fs.Duration("slow-request", 0, "log requests slower than this (0: default 1s, negative: disable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +94,7 @@ func run(args []string, out io.Writer) error {
 	cfg.SnapshotEveryBatches = *snapshotEvery
 	cfg.SnapshotMaxJournalBytes = *maxJournalBytes
 	cfg.Parallelism = *parallelism
+	cfg.SlowRequestThreshold = *slowReq
 	if *exactLimit > 0 {
 		cfg.ExactLimit = *exactLimit
 	}
@@ -126,6 +139,32 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "crowdrankd: serving n=%d m=%d seed=%d on %s\n", *n, *m, srv.Seed(), ln.Addr())
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		defer func() {
+			if err := pprofSrv.Close(); err != nil {
+				fmt.Fprintf(out, "crowdrankd: closing pprof listener: %v\n", err)
+			}
+		}()
+		//lint:ignore goroleak the pprof server's lifetime is the process: the deferred Close above reaps the goroutine on every run() exit path, and profiling must stay reachable through shutdown drains
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(out, "crowdrankd: pprof listener failed: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(out, "crowdrankd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -71,6 +71,7 @@ func TestDaemonLifecycle(t *testing.T) {
 			"-journal", filepath.Join(dir, "wal"),
 			"-seed", "7",
 			"-drain", "5s",
+			"-pprof", "127.0.0.1:0",
 		}, out)
 	}()
 
@@ -115,6 +116,55 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if len(rr.Ranking) != 5 || rr.Algorithm == "" {
 		t.Fatalf("unexpected rank response %+v", rr)
+	}
+
+	// The exposition is served from the API port and already carries the
+	// traffic just generated.
+	resp3, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metricsBody bytes.Buffer
+	if _, err := metricsBody.ReadFrom(resp3.Body); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp3.Body.Close() }()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp3.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE crowdrankd_ingest_batches_total counter",
+		"crowdrankd_ingest_votes_total{result=\"accepted\"} 1",
+		"crowdrankd_rank_seconds_count 1",
+		"crowdrankd_journal_appends_total 1",
+	} {
+		if !strings.Contains(metricsBody.String(), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, metricsBody.String())
+		}
+	}
+
+	// pprof runs on its own ephemeral listener; its address is only known
+	// from the startup log line.
+	pprofBase := ""
+	deadline = time.Now().Add(10 * time.Second)
+	for pprofBase == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged the pprof address; output:\n%s", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "pprof on http://") {
+			rest := s[strings.Index(s, "pprof on ")+len("pprof on "):]
+			pprofBase = strings.TrimSpace(strings.Split(rest, "\n")[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	resp4, err := http.Get(pprofBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp4.Body.Close() }()
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d at %s", resp4.StatusCode, pprofBase)
 	}
 
 	// run installed the handler via signal.NotifyContext, so a self-SIGTERM

@@ -3,6 +3,7 @@ package crowdrank
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 func TestPlanTasks(t *testing.T) {
@@ -207,6 +208,34 @@ func TestInferEndToEnd(t *testing.T) {
 	}
 	if len(res.WorkerQuality) != cfg.Workers {
 		t.Error("worker quality length wrong")
+	}
+}
+
+// TestStepTimingsMonotonicSafe pins the duration contract on the public
+// result: every pipeline stage is measured with time.Since, which reads
+// the monotonic clock, so no component can be negative even if the wall
+// clock is stepped mid-inference — and Total is exactly the sum of the
+// four components, nothing more.
+func TestStepTimingsMonotonicSafe(t *testing.T) {
+	plan, _ := PlanTasksRatio(15, 0.5, 41)
+	round, _ := SimulateVotes(plan, DefaultSimConfig(42))
+	res, err := Infer(plan.N, 30, round.Votes, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	for name, d := range map[string]time.Duration{
+		"TruthDiscovery": tm.TruthDiscovery,
+		"Smoothing":      tm.Smoothing,
+		"Propagation":    tm.Propagation,
+		"Search":         tm.Search,
+	} {
+		if d < 0 {
+			t.Errorf("StepTimings.%s = %v; monotonic durations cannot be negative", name, d)
+		}
+	}
+	if sum := tm.TruthDiscovery + tm.Smoothing + tm.Propagation + tm.Search; tm.Total() != sum {
+		t.Errorf("Total() = %v, want the component sum %v", tm.Total(), sum)
 	}
 }
 

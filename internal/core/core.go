@@ -95,7 +95,10 @@ func DefaultOptions() Options {
 	}
 }
 
-// StepTimings records the wall-clock time of each inference step.
+// StepTimings records the elapsed time of each inference step. Every
+// field is measured with time.Since over a time.Now start, so the values
+// carry the monotonic reading and survive wall-clock jumps (NTP steps)
+// mid-inference.
 type StepTimings struct {
 	TruthDiscovery time.Duration
 	Smoothing      time.Duration
@@ -265,6 +268,10 @@ type ClosureResult struct {
 	TruthConverged  bool
 	OneEdges        int
 	UninformedPairs int
+	// Timings breaks the build down by step (Search stays zero: Step 4
+	// is the caller's). The serving layer feeds these into its per-stage
+	// latency histograms.
+	Timings StepTimings
 }
 
 // BuildClosure runs Steps 1-3 only (truth discovery, smoothing,
@@ -274,6 +281,8 @@ func BuildClosure(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil random source")
 	}
+	var timings StepTimings
+	start := time.Now()
 	discovered, err := truth.Discover(n, m, votes, opts.Truth)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1 (truth discovery): %w", err)
@@ -282,6 +291,8 @@ func BuildClosure(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1 (preference graph): %w", err)
 	}
+	timings.TruthDiscovery = time.Since(start)
+	start = time.Now()
 	workersByPair := make(map[graph.Pair][]int)
 	for _, v := range votes {
 		p := v.Pair()
@@ -291,10 +302,13 @@ func BuildClosure(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*
 	if err != nil {
 		return nil, fmt.Errorf("core: step 2 (smoothing): %w", err)
 	}
+	timings.Smoothing = time.Since(start)
+	start = time.Now()
 	closure, propStats, err := propagate.Closure(smoothed, opts.Propagate)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (propagation): %w", err)
 	}
+	timings.Propagation = time.Since(start)
 	return &ClosureResult{
 		Closure:         closure,
 		WorkerQuality:   discovered.Quality,
@@ -302,6 +316,7 @@ func BuildClosure(n, m int, votes []crowd.Vote, opts Options, rng *rand.Rand) (*
 		TruthConverged:  discovered.Converged,
 		OneEdges:        smoothStats.OneEdges,
 		UninformedPairs: propStats.UninformedPairs,
+		Timings:         timings,
 	}, nil
 }
 

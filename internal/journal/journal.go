@@ -65,6 +65,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"crowdrank/internal/obs"
 )
 
 // segMagic identifies a crowdrank journal segment; the final byte is the
@@ -174,6 +177,27 @@ type Options struct {
 	// Faults injects write/sync failures for tests; nil means a healthy
 	// disk.
 	Faults *Faults
+	// Metrics receives append/fsync latency and segment lifecycle counts.
+	// The zero value disables collection: every handle in Metrics is
+	// nil-safe, so unwired journals pay only a nil check.
+	Metrics Metrics
+}
+
+// Metrics is the journal's observability hook: the owner (internal/serve)
+// registers these on its registry and passes them in via Options. All
+// fields are optional — nil obs handles discard observations.
+type Metrics struct {
+	// AppendSeconds observes the full latency of each successful Append,
+	// including the fsync under SyncAlways.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds observes every successful fsync of segment data
+	// (per-append syncs, seals before rotation, explicit Sync calls).
+	FsyncSeconds *obs.Histogram
+	// Appends counts successful appends; Rotations sealed segments;
+	// SegmentsCompacted segment files deleted by CompactThrough.
+	Appends           *obs.Counter
+	Rotations         *obs.Counter
+	SegmentsCompacted *obs.Counter
 }
 
 func (o Options) maxRecord() int {
@@ -772,9 +796,11 @@ func (j *Journal) syncActive(op string) error {
 			return j.poisonLocked(op, err)
 		}
 	}
+	start := time.Now()
 	if err := j.active.Sync(); err != nil {
 		return j.poisonLocked(op, err)
 	}
+	j.opts.Metrics.FsyncSeconds.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -784,6 +810,13 @@ func (j *Journal) syncActive(op string) error {
 // journal is poisoned by a disk fault every Append fails with
 // ErrPoisoned.
 func (j *Journal) Append(payload []byte) (seq uint64, err error) {
+	start := time.Now()
+	defer func() {
+		if err == nil {
+			j.opts.Metrics.Appends.Inc()
+			j.opts.Metrics.AppendSeconds.ObserveDuration(time.Since(start))
+		}
+	}()
 	if len(payload) == 0 {
 		return 0, fmt.Errorf("journal: refusing empty payload")
 	}
@@ -848,6 +881,7 @@ func (j *Journal) rotateLocked() error {
 		// the journal has no file to write to.
 		return j.poisonLocked("rotating segment", err)
 	}
+	j.opts.Metrics.Rotations.Inc()
 	return nil
 }
 
@@ -889,6 +923,7 @@ func (j *Journal) CompactThrough(seq uint64) (deleted int, err error) {
 		if err := j.syncDir(); err != nil {
 			return deleted, err
 		}
+		j.opts.Metrics.SegmentsCompacted.Add(uint64(deleted))
 	}
 	return deleted, nil
 }

@@ -207,6 +207,114 @@ func TestCompactThroughAllRotatesActive(t *testing.T) {
 	}
 }
 
+// TestCompactThroughNoSealedSegments pins the edge cases where nothing
+// can be deleted: a journal that has never rotated holds exactly one
+// (active) segment, and compaction must be a clean no-op on it — empty,
+// partially covered, or with seq far beyond the tail.
+func TestCompactThroughNoSealedSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS})
+
+	// Entirely empty journal: no records, one active segment.
+	deleted, err := j.CompactThrough(j.NextSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 || j.Segments() != 1 {
+		t.Fatalf("empty-journal compaction: deleted=%d segments=%d, want 0/1", deleted, j.Segments())
+	}
+
+	// Records present but none covered (seq 0 covers nothing).
+	for i := 0; i < 3; i++ {
+		mustAppend(t, j, []byte(fmt.Sprintf("rec-%d", i)))
+	}
+	if deleted, err = j.CompactThrough(0); err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 {
+		t.Fatalf("uncovered compaction deleted %d segments", deleted)
+	}
+
+	// seq beyond NextSeq is clamped, not an error; the active segment is
+	// rotated out and the sealed file deleted, never leaving zero
+	// segments behind.
+	if deleted, err = j.CompactThrough(j.NextSeq() + 1000); err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 || j.Segments() != 1 {
+		t.Fatalf("over-clamped compaction: deleted=%d segments=%d, want 1/1", deleted, j.Segments())
+	}
+	if seq := mustAppend(t, j, []byte("after")); seq != 3 {
+		t.Fatalf("append after clamped compaction got seq %d, want 3", seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, dir, Options{ReplayFrom: 3})
+	if stats.Records != 1 || string(got[0]) != "after" {
+		t.Fatalf("replay after no-op compactions: stats=%+v got=%q", stats, got)
+	}
+}
+
+// TestCompactThroughRacesAppends runs compaction concurrently with a
+// stream of appends (tiny segments, so rotation is constant) and checks
+// nothing is lost ahead of the cover point. Run under -race this also
+// pins the locking contract between Append and CompactThrough.
+func TestCompactThroughRacesAppends(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openCollect(t, dir, Options{Sync: SyncOS, SegmentBytes: 1})
+
+	const n = 200
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	// Compact whatever is sealed, as fast as the lock allows, while the
+	// appender runs. NextSeq moves underneath us; that is the point.
+	for i := 0; i < 50; i++ {
+		if _, err := j.CompactThrough(j.NextSeq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Every record from the final cover point forward must replay; the
+	// sequence space must be dense to NextSeq with nothing reordered.
+	cover := j.NextSeq()
+	if cover != n {
+		t.Fatalf("NextSeq = %d after %d appends", cover, n)
+	}
+	if _, err := j.CompactThrough(cover); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, dir, Options{ReplayFrom: cover})
+	if stats.Records != 0 || len(got) != 0 {
+		t.Fatalf("fully compacted journal replayed %d records (stats %+v)", len(got), stats)
+	}
+	if stats.NextSeq != cover {
+		t.Fatalf("NextSeq after reopen = %d, want %d", stats.NextSeq, cover)
+	}
+}
+
 // TestTornTailTruncated simulates a crash mid-append: a partial record at
 // the tail must be detected, reported, and cut — and must not destroy the
 // valid prefix.

@@ -113,8 +113,9 @@ type Config struct {
 	// LongRunningPkgs lists import paths whose exported loop-bearing
 	// functions must be cancellable (ctxloop's third clause) and whose
 	// goroutine literals need a shutdown path (goroleak). Defaults to
-	// crowdrank/internal/search and crowdrank/internal/serve (the daemon
-	// engine: its request loops run under client deadlines) when nil.
+	// crowdrank/internal/search, crowdrank/internal/serve (the daemon
+	// engine: its request loops run under client deadlines), and
+	// crowdrank/cmd/crowdrankd (the daemon binary itself) when nil.
 	LongRunningPkgs []string
 	// Ackflow names the durability dataflow rules checked by ackflow. Each
 	// rule is evaluated in the package it names. Defaults to the daemon's
@@ -145,6 +146,7 @@ func (c Config) longRunning() map[string]bool {
 		pkgs = []string{
 			"crowdrank/internal/search",
 			"crowdrank/internal/serve",
+			"crowdrank/cmd/crowdrankd",
 		}
 	}
 	return toSet(pkgs)

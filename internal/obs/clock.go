@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for code whose behavior depends on it — the
+// degradation ladder's remaining-budget arithmetic, the circuit breaker's
+// cooldown, request timing, slow-request logging. Production code uses
+// Real; tests inject a FakeClock and drive transitions deterministically,
+// with no sleeps.
+//
+// Contract: Since(t) must be computed monotonically — a wall-clock jump
+// (NTP step, leap smear) between Now() and Since() must never yield a
+// negative or wildly wrong duration. Real satisfies this because
+// time.Now carries a monotonic reading that time.Since subtracts.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real returns the system clock: time.Now and (monotonic-safe) time.Since.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// FakeClock is a manually advanced Clock for tests. It only moves when
+// Advance or Set is called, so timing-dependent behavior (breaker
+// cooldowns, deadline ladders) becomes a pure function of the test
+// script. Safe for concurrent use.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the frozen current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since returns the fake elapsed time from t to the frozen now.
+func (c *FakeClock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Advance moves the clock forward (or backward, for tests that simulate a
+// wall jump) by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Set jumps the clock to t.
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotonicSince(t *testing.T) {
+	c := Real()
+	start := c.Now()
+	if d := c.Since(start); d < 0 {
+		t.Fatalf("Since went negative: %v", d)
+	}
+}
+
+func TestFakeClockAdvance(t *testing.T) {
+	base := time.Unix(1000, 0)
+	c := NewFakeClock(base)
+	if !c.Now().Equal(base) {
+		t.Fatalf("Now = %v, want %v", c.Now(), base)
+	}
+	start := c.Now()
+	c.Advance(90 * time.Second)
+	if d := c.Since(start); d != 90*time.Second {
+		t.Fatalf("Since = %v, want 90s", d)
+	}
+	c.Set(base.Add(time.Hour))
+	if d := c.Since(start); d != time.Hour {
+		t.Fatalf("after Set, Since = %v, want 1h", d)
+	}
+	// A frozen clock never moves on its own: two reads agree exactly.
+	if !c.Now().Equal(c.Now()) {
+		t.Fatal("frozen clock drifted between reads")
+	}
+}

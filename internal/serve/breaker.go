@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"crowdrank/internal/obs"
 )
 
 // breaker is the exact-rung circuit breaker. Repeated deadline overruns of
@@ -16,7 +18,8 @@ type breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
-	now       func() time.Time // injectable for tests
+	clock     obs.Clock    // injectable so tests drive transitions without sleeps
+	trips     *obs.Counter // optional; counts transitions to open (nil-safe)
 
 	failures int
 	open     bool
@@ -24,8 +27,11 @@ type breaker struct {
 	until    time.Time
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+func newBreaker(threshold int, cooldown time.Duration, clock obs.Clock) *breaker {
+	if clock == nil {
+		clock = obs.Real()
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, clock: clock}
 }
 
 // allow reports whether the exact rung may run now. While open it returns
@@ -37,7 +43,7 @@ func (b *breaker) allow() bool {
 	if !b.open {
 		return true
 	}
-	if b.probing || b.now().Before(b.until) {
+	if b.probing || b.clock.Now().Before(b.until) {
 		return false
 	}
 	b.probing = true
@@ -61,14 +67,16 @@ func (b *breaker) failure() {
 		// The half-open probe overran: re-open for a fresh cooldown.
 		b.probing = false
 		b.open = true
-		b.until = b.now().Add(b.cooldown)
+		b.until = b.clock.Now().Add(b.cooldown)
+		b.trips.Inc()
 		return
 	}
 	b.failures++
 	if b.failures >= b.threshold {
 		b.open = true
 		b.failures = 0
-		b.until = b.now().Add(b.cooldown)
+		b.until = b.clock.Now().Add(b.cooldown)
+		b.trips.Inc()
 	}
 }
 
@@ -79,7 +87,7 @@ func (b *breaker) state() string {
 	switch {
 	case b.probing:
 		return "half-open"
-	case b.open && b.now().Before(b.until):
+	case b.open && b.clock.Now().Before(b.until):
 		return "open"
 	case b.open:
 		return "half-open" // cooldown elapsed; next allow() admits the probe

@@ -39,6 +39,7 @@ type errorResponse struct {
 //	POST /votes      ingest a vote batch; 200 acknowledges durability
 //	GET  /rank       serve a ranking; ?deadline_ms bounds inference time
 //	POST /snapshot   take a snapshot now and compact covered segments
+//	GET  /metrics    Prometheus text exposition of the metric registry
 //	GET  /healthz    liveness + operational stats (always 200 while up)
 //	GET  /readyz     readiness; 503 once shutdown has begun or the
 //	                 journal is poisoned by a disk fault
@@ -46,14 +47,48 @@ type errorResponse struct {
 // Ingest and rank are guarded by bounded queues: when a queue is full the
 // request is rejected immediately with 429 and a Retry-After header
 // instead of piling onto the journal or the inference pipeline.
+//
+// Every route is instrumented: request counts by (route, status code),
+// per-route latency histograms, and slow-request logging through Logf
+// once a request exceeds Config.SlowRequestThreshold.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /votes", s.handleVotes)
-	mux.HandleFunc("GET /rank", s.handleRank)
-	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("POST /votes", s.instrument("votes", s.handleVotes))
+	mux.Handle("GET /rank", s.instrument("rank", s.handleRank))
+	mux.Handle("POST /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.cfg.Metrics.Handler().ServeHTTP))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	return mux
+}
+
+// statusWriter captures the response code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route handler with request counting, latency
+// observation, and slow-request logging, all on the server clock.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.clock.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := s.clock.Since(start)
+		s.met.httpRequest(route, sw.status)
+		s.met.httpSeconds[route].ObserveDuration(elapsed)
+		if thr := s.cfg.SlowRequestThreshold; thr > 0 && elapsed >= thr {
+			s.met.slowRequests.Inc()
+			s.logf("serve: slow request: %s %s answered %d in %v (threshold %v)",
+				r.Method, r.URL.Path, sw.status, elapsed.Round(time.Millisecond), thr)
+		}
+	})
 }
 
 // writeJSON emits one JSON response; encode failures (client gone,
@@ -87,6 +122,7 @@ func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !acquire(s.ingestSem) {
+		s.met.rejectedIngest.Inc()
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, "ingest queue full")
 		return
@@ -151,6 +187,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		deadline = s.cfg.MaxDeadline
 	}
 	if !acquire(s.rankSem) {
+		s.met.rejectedRank.Inc()
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, "rank queue full")
 		return

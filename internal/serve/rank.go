@@ -89,7 +89,10 @@ func (s *Server) Rank() (*RankResult, error) {
 // call still returns a ranking; only an explicit cancellation (client
 // gone) or a broken pipeline returns an error.
 func (s *Server) RankContext(ctx context.Context) (*RankResult, error) {
-	start := time.Now()
+	// All request timing goes through the injected clock: Since carries
+	// the monotonic reading on the real clock (immune to wall jumps), and
+	// tests drive the ladder deterministically with a fake.
+	start := s.clock.Now()
 	if s.closing.Load() {
 		return nil, errShuttingDown
 	}
@@ -104,6 +107,7 @@ func (s *Server) RankContext(ctx context.Context) (*RankResult, error) {
 
 	votes, gen := s.snapshot()
 	res := &RankResult{Votes: len(votes), Seed: s.cfg.Seed}
+	var searchStart time.Time // zero until the closure is built
 	finish := func(path []int, logProb float64) (*RankResult, error) {
 		// Stage-boundary assertion (no-op unless built with
 		// -tags crowdrank_invariants): every rung must return a
@@ -112,7 +116,15 @@ func (s *Server) RankContext(ctx context.Context) (*RankResult, error) {
 		res.Ranking = path
 		res.LogProb = logProb
 		res.Breaker = s.breaker.state()
-		res.Elapsed = time.Since(start)
+		res.Elapsed = s.clock.Since(start)
+		s.met.rankByAlgo[res.Algorithm].Inc()
+		s.met.rankSeconds.ObserveDuration(res.Elapsed)
+		if res.Degraded {
+			s.met.rankDegraded.Inc()
+		}
+		if !searchStart.IsZero() {
+			s.met.stageSeconds[stageSearch].ObserveDuration(s.clock.Since(searchStart))
+		}
 		return res, nil
 	}
 
@@ -130,13 +142,14 @@ func (s *Server) RankContext(ctx context.Context) (*RankResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	searchStart = s.clock.Now()
 	const obj = search.ObjectiveAllPairs
 	deadline, hasDeadline := ctx.Deadline()
 	remaining := func() time.Duration {
 		if !hasDeadline {
 			return time.Hour
 		}
-		return time.Until(deadline)
+		return deadline.Sub(s.clock.Now())
 	}
 
 	// Rung 1: exact search. Decide affordability before consulting the

@@ -34,6 +34,7 @@ import (
 	"crowdrank/internal/feq"
 	"crowdrank/internal/graph"
 	"crowdrank/internal/journal"
+	"crowdrank/internal/obs"
 	"crowdrank/internal/snapshot"
 )
 
@@ -106,6 +107,20 @@ type Config struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 
+	// Metrics receives the daemon's operational metrics and is served on
+	// GET /metrics; nil creates a private registry. Use one registry per
+	// server — two servers sharing one would fold their counts together.
+	Metrics *obs.Registry
+	// Clock supplies time to the degradation ladder, the circuit
+	// breaker, request timing, and slow-request logging. nil means the
+	// real clock; tests inject an obs.FakeClock to drive rung and
+	// breaker transitions deterministically, without sleeps.
+	Clock obs.Clock
+	// SlowRequestThreshold logs (via Logf) any HTTP request that takes
+	// longer, and counts it in crowdrankd_http_slow_requests_total.
+	// 0 means the default 1s; negative disables slow-request logging.
+	SlowRequestThreshold time.Duration
+
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -130,6 +145,7 @@ func DefaultConfig(n, m int) Config {
 		MaxConcurrentIngests:    64,
 		BreakerThreshold:        3,
 		BreakerCooldown:         30 * time.Second,
+		SlowRequestThreshold:    time.Second,
 	}
 }
 
@@ -174,6 +190,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SnapshotMaxJournalBytes == 0 {
 		c.SnapshotMaxJournalBytes = d.SnapshotMaxJournalBytes
+	}
+	if c.SlowRequestThreshold == 0 {
+		c.SlowRequestThreshold = d.SlowRequestThreshold
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = obs.Real()
 	}
 	if c.Seed == 0 {
 		c.Seed = uint64(time.Now().UnixNano())
@@ -225,6 +250,14 @@ type Server struct {
 	jnl       *journal.Journal // nil when running in-memory
 	recovered RecoveryStats
 	logf      func(string, ...any)
+
+	// clock is cfg.Clock; met the metric bundle on cfg.Metrics; started
+	// the construction instant (uptime); recoveryDur how long startup
+	// recovery took. All immutable after NewContext returns.
+	clock       obs.Clock
+	met         *metrics
+	started     time.Time
+	recoveryDur time.Duration
 
 	// writeMu orders every journal append with its apply: under it the
 	// journal's NextSeq always equals the number of batches folded into
@@ -279,20 +312,27 @@ func NewContext(ctx context.Context, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		logf:      cfg.Logf,
+		clock:     cfg.Clock,
+		met:       newMetrics(cfg.Metrics),
 		seen:      make(map[submissionKey]bool),
-		breaker:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		breaker:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 		rankSem:   make(chan struct{}, cfg.MaxConcurrentRanks),
 		ingestSem: make(chan struct{}, cfg.MaxConcurrentIngests),
 	}
+	s.started = s.clock.Now()
+	s.breaker.trips = s.met.breakerTrips
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
 	if cfg.JournalPath != "" {
+		recoverStart := s.clock.Now()
 		if err := s.recover(ctx, cfg); err != nil {
 			return nil, err
 		}
-		s.logf("journal %s: %s", cfg.JournalPath, s.recovered)
+		s.recoveryDur = s.clock.Since(recoverStart)
+		s.logf("journal %s: %s in %v", cfg.JournalPath, s.recovered, s.recoveryDur.Round(time.Millisecond))
 	}
+	s.registerGauges()
 	return s, nil
 }
 
@@ -353,6 +393,7 @@ func (s *Server) recover(ctx context.Context, cfg Config) error {
 			SegmentBytes: cfg.JournalSegmentBytes,
 			ReplayFrom:   st.Seq,
 			Faults:       testJournalFaults,
+			Metrics:      s.met.journal,
 		}
 		jnl, stats, err := journal.Open(cfg.JournalPath, opts, replay)
 		switch {
@@ -486,6 +527,7 @@ func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, 
 	s.mu.Lock()
 	s.malformed += res.Malformed
 	s.mu.Unlock()
+	s.met.ingestMalformed.Add(uint64(res.Malformed))
 	if len(valid) == 0 {
 		res.TotalVotes = s.VoteCount()
 		return res, nil
@@ -508,6 +550,9 @@ func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, 
 	}
 	res.Accepted, res.Duplicates = s.apply(valid)
 	s.writeMu.Unlock()
+	s.met.ingestBatches.Inc()
+	s.met.ingestAccepted.Add(uint64(res.Accepted))
+	s.met.ingestDuplicate.Add(uint64(res.Duplicates))
 	s.sinceSnap.Add(1)
 	s.mu.RLock()
 	res.Seq = s.batches
@@ -588,18 +633,25 @@ func (s *Server) Snapshot() (SnapshotResult, error) {
 	s.writeMu.Unlock()
 	s.sinceSnap.Store(0)
 
+	writeStart := s.clock.Now()
 	//lint:ignore lockcheck snapMu exists to serialize snapshot writing/compaction end to end; ingest and rank never take it, so holding it across the file I/O blocks only a competing snapshot
 	path, err := snapshot.Write(s.jnl.Dir(), st)
 	if err != nil {
+		s.met.snapshotFailed.Inc()
 		return res, fmt.Errorf("serve: writing snapshot: %w", err)
 	}
+	s.met.snapshotWriteSeconds.ObserveDuration(s.clock.Since(writeStart))
 	// Read-back verification: no journal byte is deleted on the strength
 	// of a snapshot that cannot actually be loaded.
+	loadStart := s.clock.Now()
 	if _, err := snapshot.Load(path); err != nil {
+		s.met.snapshotFailed.Inc()
 		return res, fmt.Errorf("serve: snapshot %s failed read-back verification, journal retained: %w", path, err)
 	}
+	s.met.snapshotLoadSeconds.ObserveDuration(s.clock.Since(loadStart))
 	deleted, err := s.jnl.CompactThrough(st.Seq)
 	if err != nil {
+		s.met.snapshotFailed.Inc()
 		return res, fmt.Errorf("serve: snapshot %s written but compaction failed: %w", path, err)
 	}
 	pruned, err := snapshot.Prune(s.jnl.Dir(), snapshotsToKeep)
@@ -607,6 +659,8 @@ func (s *Server) Snapshot() (SnapshotResult, error) {
 		// Stale snapshots waste disk but threaten nothing; keep going.
 		s.logf("serve: pruning old snapshots: %v", err)
 	}
+	s.met.snapshotOK.Inc()
+	s.met.snapshotsPruned.Add(uint64(len(pruned)))
 	s.mu.Lock()
 	s.lastSnapSeq, s.lastSnapGen, s.lastSnapPath = st.Seq, st.Gen, path
 	s.mu.Unlock()
@@ -664,6 +718,12 @@ func (s *Server) closure(votes []crowd.Vote, gen uint64) (*graph.PreferenceGraph
 	if err != nil {
 		return nil, fmt.Errorf("serve: building closure: %w", err)
 	}
+	// Stage histograms record rebuild cost only: a cache hit spent no
+	// time in Steps 1-3, and observing zeros would flatten the latency
+	// distribution the histogram exists to expose.
+	s.met.stageSeconds[stageTruth].ObserveDuration(cl.Timings.TruthDiscovery)
+	s.met.stageSeconds[stageSmooth].ObserveDuration(cl.Timings.Smoothing)
+	s.met.stageSeconds[stagePropagate].ObserveDuration(cl.Timings.Propagation)
 	s.cache = cl.Closure
 	s.cacheGen = gen
 	return s.cache, nil
@@ -704,6 +764,12 @@ type Stats struct {
 	RecoveredBatches int   `json:"recovered_batches"`
 	TruncatedBytes   int64 `json:"truncated_bytes"`
 	Closing          bool  `json:"closing"`
+	// UptimeSeconds is time since construction and RecoverySeconds the
+	// startup recovery cost. Both are measured with the server clock's
+	// monotonic Since — a wall-clock jump (NTP step) mid-flight cannot
+	// make them negative or wrong.
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
 }
 
 // StatsSnapshot assembles the current Stats.
@@ -722,6 +788,8 @@ func (s *Server) StatsSnapshot() Stats {
 		RecoveredBatches: s.recovered.Records,
 		TruncatedBytes:   s.recovered.TruncatedBytes,
 		Closing:          s.closing.Load(),
+		UptimeSeconds:    s.clock.Since(s.started).Seconds(),
+		RecoverySeconds:  s.recoveryDur.Seconds(),
 	}
 	s.mu.RUnlock()
 	st.Breaker = s.breaker.state()
@@ -776,6 +844,11 @@ func (s *Server) Recovered() RecoveryStats { return s.recovered }
 // Seed returns the effective pipeline seed (drawn at startup when the
 // config left it 0). Pass it to CertifyRanking to certify served rankings.
 func (s *Server) Seed() uint64 { return s.cfg.Seed }
+
+// Metrics returns the server's metric registry — the one Config.Metrics
+// supplied, or the private registry created when it was nil. Handler
+// serves it on GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // errShuttingDown is returned by requests that arrive during Close;
 // errBatchTooLarge by batches over MaxBatchVotes. The HTTP layer maps them

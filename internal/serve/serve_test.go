@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/obs"
 )
 
 // agreeingVotes has every worker vote every pair according to the identity
@@ -330,9 +331,8 @@ func TestBatchCodecDropsOutOfUniverse(t *testing.T) {
 }
 
 func TestBreakerLifecycle(t *testing.T) {
-	clock := time.Unix(1000, 0)
-	b := newBreaker(3, time.Minute)
-	b.now = func() time.Time { return clock }
+	clock := obs.NewFakeClock(time.Unix(1000, 0))
+	b := newBreaker(3, time.Minute, clock)
 
 	if !b.allow() || b.state() != "closed" {
 		t.Fatal("fresh breaker should be closed")
@@ -347,7 +347,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("breaker should be open, state=%s", b.state())
 	}
 
-	clock = clock.Add(61 * time.Second)
+	clock.Advance(61 * time.Second)
 	if b.state() != "half-open" {
 		t.Fatalf("cooldown elapsed: want half-open, got %s", b.state())
 	}
@@ -362,7 +362,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("failed probe should re-open, state=%s", b.state())
 	}
 
-	clock = clock.Add(61 * time.Second)
+	clock.Advance(61 * time.Second)
 	if !b.allow() {
 		t.Fatal("second probe should be admitted")
 	}

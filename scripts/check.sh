@@ -37,4 +37,17 @@ go test -run='^$' -fuzz=FuzzSnapshotLoad -fuzztime=20s ./internal/snapshot
 echo "== go test -tags crowdrank_invariants ./... =="
 go test -tags crowdrank_invariants ./...
 
+echo "== bench delta: BenchmarkInfer / BenchmarkPlanTasks vs scripts/bench.baseline =="
+# Report-only: machines differ, so the delta informs rather than gates.
+# Delete scripts/bench.baseline to re-baseline after an intentional change.
+bench_tmp=$(mktemp)
+trap 'rm -f "$bench_tmp"' EXIT
+go test -run '^$' -bench '^(BenchmarkInfer|BenchmarkPlanTasks)$' -benchtime 1x -count 3 . >"$bench_tmp"
+if [ -f scripts/bench.baseline ]; then
+	go run ./cmd/benchdelta -old scripts/bench.baseline -new "$bench_tmp"
+else
+	cp "$bench_tmp" scripts/bench.baseline
+	echo "no baseline found; recorded scripts/bench.baseline for future runs"
+fi
+
 echo "== all checks passed =="
