@@ -9,6 +9,8 @@
 //	           [-snapshot-every N] [-max-journal-bytes M]
 //	           [-drain 10s] [-addr-file path]
 //	           [-pprof addr] [-slow-request 1s]
+//	           [-read-timeout 1m] [-write-timeout 2m] [-idle-timeout 2m]
+//	           [-idempotency-window N] [-chaos spec]
 //
 // Endpoints:
 //
@@ -28,6 +30,17 @@
 // production); profiling never shares the public API port. Requests
 // slower than -slow-request are logged and counted in
 // crowdrankd_http_slow_requests_total (negative disables).
+//
+// Retried POST /votes batches carrying an Idempotency-Key header are
+// acknowledged exactly once: a repeated key inside the last
+// -idempotency-window batches (default 65536, negative disables) returns
+// the original acknowledgement without re-applying, before and after a
+// restart.
+//
+// -chaos wraps the public listener in the internal/netfault
+// fault-injection proxy (e.g. -chaos "seed=7,latency=2ms,reset=0.05") —
+// a deterministic resilience harness for soak tests and drills, never for
+// production. See netfault.ParseSpec for the full grammar.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops, in-flight
 // requests drain (bounded by -drain), and the journal is synced and closed.
@@ -53,6 +66,7 @@ import (
 	"time"
 
 	"crowdrank"
+	"crowdrank/internal/netfault"
 )
 
 func main() {
@@ -81,11 +95,23 @@ func run(args []string, out io.Writer) error {
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty: disabled)")
 	slowReq := fs.Duration("slow-request", 0, "log requests slower than this (0: default 1s, negative: disable)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "HTTP server read timeout (full request including body)")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout (must exceed the rank deadline cap)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+	idemWindow := fs.Int("idempotency-window", 0, "batch acks remembered for exactly-once retries (0: default 65536, negative: disable)")
+	chaosSpec := fs.String("chaos", "", "TESTING ONLY: netfault spec injecting faults on the public listener (e.g. \"seed=7,latency=2ms,reset=0.05\")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n < 1 || *m < 1 {
 		return fmt.Errorf("-n and -m are required (got n=%d m=%d)", *n, *m)
+	}
+	var chaosCfg netfault.Config
+	if *chaosSpec != "" {
+		var err error
+		if chaosCfg, err = netfault.ParseSpec(*chaosSpec); err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
 	}
 
 	cfg := crowdrank.DefaultServeConfig(*n, *m)
@@ -95,6 +121,10 @@ func run(args []string, out io.Writer) error {
 	cfg.SnapshotMaxJournalBytes = *maxJournalBytes
 	cfg.Parallelism = *parallelism
 	cfg.SlowRequestThreshold = *slowReq
+	cfg.IdempotencyWindow = *idemWindow
+	if *writeTimeout > 0 && *writeTimeout <= cfg.MaxDeadline {
+		return fmt.Errorf("-write-timeout %v must exceed the rank deadline cap %v, or responses get cut mid-flight", *writeTimeout, cfg.MaxDeadline)
+	}
 	if *exactLimit > 0 {
 		cfg.ExactLimit = *exactLimit
 	}
@@ -128,6 +158,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *chaosSpec != "" {
+		fln, err := netfault.Wrap(ln, chaosCfg)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		ln = fln
+		fmt.Fprintf(out, "crowdrankd: CHAOS MODE: injecting faults on the public listener (%s)\n", *chaosSpec)
+	}
 	if *addrFile != "" {
 		// Written atomically so watchers never read a half-written address.
 		tmp := *addrFile + ".tmp"
@@ -151,7 +189,15 @@ func run(args []string, out io.Writer) error {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		pprofSrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		pprofSrv := &http.Server{
+			Handler:           pmux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       *readTimeout,
+			// Profile and trace streams run for their ?seconds= argument;
+			// a write timeout sized for API responses would cut them off.
+			WriteTimeout: 5 * time.Minute,
+			IdleTimeout:  *idleTimeout,
+		}
 		defer func() {
 			if err := pprofSrv.Close(); err != nil {
 				fmt.Fprintf(out, "crowdrankd: closing pprof listener: %v\n", err)
@@ -166,7 +212,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "crowdrankd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)

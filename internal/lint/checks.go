@@ -32,6 +32,9 @@ func analyze(pkg *pkgInfo, cfg Config) []Finding {
 	if enabled["goroleak"] {
 		a.checkGoroleak()
 	}
+	if enabled["srvtimeout"] {
+		a.checkSrvTimeout()
+	}
 	if enabled["ackflow"] {
 		for _, rule := range cfg.ackflowRules() {
 			if rule.Pkg == pkg.importPath {

@@ -46,6 +46,10 @@
 //     Sources, sinks, and barriers are named in Config.Ackflow so the check
 //     survives refactors; configured names that no longer resolve are
 //     themselves findings.
+//   - srvtimeout: in long-running packages, an http.Server composite
+//     literal must set ReadTimeout or ReadHeaderTimeout. Without either, a
+//     slow-loris client that dribbles header bytes pins a connection (and
+//     eventually the accept backlog) forever.
 //
 // Findings can be suppressed with a trailing or preceding comment of the
 // form
@@ -78,7 +82,7 @@ type Finding struct {
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
 	// Check names the rule that fired (globalrand, floatcmp, ctxloop,
-	// panics, errcheck, lockcheck, goroleak, ackflow).
+	// panics, errcheck, lockcheck, goroleak, ackflow, srvtimeout).
 	Check string `json:"check"`
 	// Message explains the violation and the fix.
 	Message string `json:"message"`
@@ -91,7 +95,7 @@ func (f Finding) String() string {
 // AllChecks lists every implemented check name.
 var AllChecks = []string{
 	"globalrand", "floatcmp", "ctxloop", "panics", "errcheck",
-	"lockcheck", "goroleak", "ackflow",
+	"lockcheck", "goroleak", "ackflow", "srvtimeout",
 }
 
 // Config tunes a lint run. The zero value runs every check with no build
@@ -111,11 +115,14 @@ type Config struct {
 	// main is always exempt.
 	PanicExemptPkgs []string
 	// LongRunningPkgs lists import paths whose exported loop-bearing
-	// functions must be cancellable (ctxloop's third clause) and whose
-	// goroutine literals need a shutdown path (goroleak). Defaults to
+	// functions must be cancellable (ctxloop's third clause), whose
+	// goroutine literals need a shutdown path (goroleak), and whose
+	// http.Server literals need read timeouts (srvtimeout). Defaults to
 	// crowdrank/internal/search, crowdrank/internal/serve (the daemon
-	// engine: its request loops run under client deadlines), and
-	// crowdrank/cmd/crowdrankd (the daemon binary itself) when nil.
+	// engine: its request loops run under client deadlines),
+	// crowdrank/internal/client (its retry loops run under caller
+	// contexts), and crowdrank/cmd/crowdrankd (the daemon binary itself)
+	// when nil.
 	LongRunningPkgs []string
 	// Ackflow names the durability dataflow rules checked by ackflow. Each
 	// rule is evaluated in the package it names. Defaults to the daemon's
@@ -146,6 +153,7 @@ func (c Config) longRunning() map[string]bool {
 		pkgs = []string{
 			"crowdrank/internal/search",
 			"crowdrank/internal/serve",
+			"crowdrank/internal/client",
 			"crowdrank/cmd/crowdrankd",
 		}
 	}

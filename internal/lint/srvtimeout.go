@@ -1,0 +1,56 @@
+package lint
+
+// srvtimeout: HTTP servers without read timeouts. In a long-running
+// package an http.Server composite literal that sets neither ReadTimeout
+// nor ReadHeaderTimeout accepts connections a slow-loris client can pin
+// forever: each dribbled header byte resets the idle window, so the
+// connection (and eventually the whole accept backlog) is held hostage by
+// traffic the daemon cannot shed. The check is syntactic over the literal:
+// either field keyed in the literal satisfies it, however the value is
+// computed; servers configured field-by-field after construction need a
+// reasoned //lint:ignore.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func (a *analysis) checkSrvTimeout() {
+	if !a.cfg.longRunning()[a.pkg.importPath] {
+		return
+	}
+	for _, f := range a.pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := a.pkg.info.Types[cl]
+			if !ok || !isHTTPServerType(tv.Type) {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && (id.Name == "ReadTimeout" || id.Name == "ReadHeaderTimeout") {
+					return true
+				}
+			}
+			a.report(cl.Pos(), "srvtimeout",
+				"http.Server literal sets neither ReadTimeout nor ReadHeaderTimeout; a client that never finishes its request pins the connection forever — bound at least header reads (and consider WriteTimeout/IdleTimeout)")
+			return true
+		})
+	}
+}
+
+// isHTTPServerType reports whether t is net/http.Server.
+func isHTTPServerType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Server"
+}

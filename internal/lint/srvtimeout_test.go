@@ -1,0 +1,149 @@
+package lint
+
+import "testing"
+
+// srvCfg marks the fixture package long-running so srvtimeout applies.
+func srvCfg() Config {
+	return Config{Checks: []string{"srvtimeout"}, LongRunningPkgs: []string{"fixture/p"}}
+}
+
+func TestSrvTimeout(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		src  string
+		want int
+	}{
+		{
+			name: "no timeouts at all",
+			cfg:  srvCfg(),
+			src: `package p
+
+import "net/http"
+
+func Serve() *http.Server {
+	return &http.Server{Addr: ":8080", Handler: http.NewServeMux()}
+}
+`,
+			want: 1,
+		},
+		{
+			name: "only write and idle timeouts still exposed to slow-loris reads",
+			cfg:  srvCfg(),
+			src: `package p
+
+import (
+	"net/http"
+	"time"
+)
+
+func Serve() *http.Server {
+	return &http.Server{WriteTimeout: time.Minute, IdleTimeout: time.Minute}
+}
+`,
+			want: 1,
+		},
+		{
+			name: "ReadHeaderTimeout satisfies the check",
+			cfg:  srvCfg(),
+			src: `package p
+
+import (
+	"net/http"
+	"time"
+)
+
+func Serve() *http.Server {
+	return &http.Server{ReadHeaderTimeout: 5 * time.Second}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "ReadTimeout satisfies the check",
+			cfg:  srvCfg(),
+			src: `package p
+
+import (
+	"net/http"
+	"time"
+)
+
+func Serve() http.Server {
+	return http.Server{ReadTimeout: time.Minute}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "computed timeout values count",
+			cfg:  srvCfg(),
+			src: `package p
+
+import (
+	"net/http"
+	"time"
+)
+
+func Serve(d time.Duration) *http.Server {
+	return &http.Server{ReadTimeout: d}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "other struct literals are out of scope",
+			cfg:  srvCfg(),
+			src: `package p
+
+import "net/http"
+
+type Server struct {
+	Addr string
+}
+
+func Serve() (*Server, *http.Client) {
+	return &Server{Addr: ":1"}, &http.Client{}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "not long-running package is exempt",
+			cfg:  Config{Checks: []string{"srvtimeout"}, LongRunningPkgs: []string{"fixture/other"}},
+			src: `package p
+
+import "net/http"
+
+func Serve() *http.Server {
+	return &http.Server{Addr: ":8080"}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "suppressed with reason",
+			cfg:  srvCfg(),
+			src: `package p
+
+import "net/http"
+
+func Serve() *http.Server {
+	//lint:ignore srvtimeout timeouts are assigned field-by-field right after construction
+	srv := &http.Server{Addr: ":8080"}
+	srv.ReadHeaderTimeout = 1e9
+	return srv
+}
+`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := lintFixture(t, tc.cfg, map[string]string{"a.go": tc.src})
+			if got := byCheck(fs)["srvtimeout"]; got != tc.want {
+				t.Fatalf("want %d srvtimeout findings, got %d: %v", tc.want, got, fs)
+			}
+		})
+	}
+}

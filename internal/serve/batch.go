@@ -7,7 +7,8 @@ import (
 	"crowdrank/internal/crowd"
 )
 
-// Vote batches are journaled in a compact varint encoding:
+// Vote batches are journaled in a compact varint encoding. The original
+// (v1) record is:
 //
 //	uvarint  count
 //	repeated count times:
@@ -16,11 +17,95 @@ import (
 //	  uvarint j
 //	  1 byte  prefersI (0 or 1)
 //
+// Keyed (v2) records carry the batch idempotency key and the malformed
+// count, so replay can rebuild the exact ack a retried key must receive:
+//
+//	uvarint  0            marker: v1 never journals an empty batch, so a
+//	                      leading zero count is unambiguous
+//	uvarint  keyLen       0 for an unkeyed batch
+//	keyLen bytes          the idempotency key
+//	uvarint  malformed    votes dropped at validation before journaling
+//	uvarint  count        followed by the v1 vote encoding
+//
 // The journal layer already guarantees integrity (CRC32 per record);
-// decodeBatch guards structure: counts must match the bytes present, no
+// decoding guards structure: counts must match the bytes present, no
 // trailing garbage, and every field must fit the configured universe.
 
-// encodeBatch serializes validated votes for the journal.
+// maxKeyLen bounds one idempotency key on disk and on the wire; longer
+// keys are rejected at ingest (HTTP 400), and a journaled key beyond it
+// is corruption.
+const maxKeyLen = 256
+
+// batchRecord is one decoded journal record: the votes plus the ack
+// bookkeeping v2 records carry.
+type batchRecord struct {
+	key       string
+	malformed int
+	votes     []crowd.Vote
+	dropped   int
+}
+
+// encodeBatchKeyed serializes a v2 keyed record for the journal.
+func encodeBatchKeyed(key string, malformed int, votes []crowd.Vote) []byte {
+	buf := make([]byte, 0, 16+len(key)+len(votes)*7)
+	buf = binary.AppendUvarint(buf, 0) // v2 marker
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(malformed))
+	return append(buf, encodeBatch(votes)...)
+}
+
+// decodeBatchRecord parses either record version back into votes and ack
+// bookkeeping for n objects and m workers. v1 records decode with an
+// empty key and zero malformed count.
+func decodeBatchRecord(data []byte, n, m int) (batchRecord, error) {
+	var rec batchRecord
+	marker, off := binary.Uvarint(data)
+	if off <= 0 {
+		return rec, fmt.Errorf("serve: batch count unreadable")
+	}
+	if marker != 0 {
+		// v1: the leading uvarint is the vote count itself.
+		votes, dropped, err := decodeBatch(data, n, m)
+		if err != nil {
+			return rec, err
+		}
+		rec.votes, rec.dropped = votes, dropped
+		return rec, nil
+	}
+	rest := data[off:]
+	keyLen, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return rec, fmt.Errorf("serve: batch key length unreadable")
+	}
+	rest = rest[k:]
+	if keyLen > maxKeyLen {
+		return rec, fmt.Errorf("serve: batch key length %d exceeds maximum %d", keyLen, maxKeyLen)
+	}
+	if uint64(len(rest)) < keyLen {
+		return rec, fmt.Errorf("serve: batch key truncated: %d bytes promised, %d present", keyLen, len(rest))
+	}
+	rec.key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	malformed, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return rec, fmt.Errorf("serve: batch malformed count unreadable")
+	}
+	rest = rest[k:]
+	if malformed > uint64(1<<31) {
+		return rec, fmt.Errorf("serve: implausible malformed count %d", malformed)
+	}
+	rec.malformed = int(malformed)
+	votes, dropped, err := decodeBatch(rest, n, m)
+	if err != nil {
+		return rec, err
+	}
+	rec.votes, rec.dropped = votes, dropped
+	return rec, nil
+}
+
+// encodeBatch serializes validated votes in the v1 vote encoding (also
+// the tail of a v2 record).
 func encodeBatch(votes []crowd.Vote) []byte {
 	buf := make([]byte, 0, 4+len(votes)*7)
 	buf = binary.AppendUvarint(buf, uint64(len(votes)))

@@ -13,10 +13,6 @@ import (
 	"crowdrank/internal/journal"
 )
 
-// maxBodyBytes bounds one ingest request body; MaxBatchVotes bounds the
-// decoded vote count, but the body must be capped before decoding starts.
-const maxBodyBytes = 32 << 20
-
 // voteJSON is the wire form of one vote on POST /votes.
 type voteJSON struct {
 	Worker   int  `json:"worker"`
@@ -62,24 +58,54 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter captures the response code for request metrics.
+// statusWriter captures the response code for request metrics, and
+// whether anything was written yet — the panic middleware may only send
+// its 500 on a pristine response.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps one route handler with request counting, latency
-// observation, and slow-request logging, all on the server clock.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route handler with panic recovery, request
+// counting, latency observation, and slow-request logging, all on the
+// server clock. A panicking handler is logged and counted
+// (crowdrankd_http_panics_total) and answered 500 when the response is
+// still unwritten — one broken request must not wedge the daemon.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.clock.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					// The sanctioned way to abort a response; net/http
+					// suppresses its stack trace. Not a defect, not a 500.
+					panic(rec)
+				}
+				s.met.panics.Inc()
+				s.logf("serve: panic in %s handler: %v", route, rec)
+				if !sw.wrote {
+					s.writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			h(sw, r)
+		}()
 		elapsed := s.clock.Since(start)
 		s.met.httpRequest(route, sw.status)
 		s.met.httpSeconds[route].ObserveDuration(elapsed)
@@ -116,21 +142,48 @@ func acquire(sem chan struct{}) bool {
 	}
 }
 
+// retryAfter derives the Retry-After value (integer seconds, the
+// parseable contract clients rely on) from the current depth of the
+// rejected queue: 1s when the queue just filled, stretching to 5s under
+// sustained saturation, plus the breaker cooldown hint when rank capacity
+// is gated by an open breaker.
+func (s *Server) retryAfter(sem chan struct{}, breakerGated bool) string {
+	depth, capacity := len(sem), cap(sem)
+	secs := 1
+	if capacity > 0 {
+		secs += 4 * depth / capacity
+	}
+	if breakerGated && s.breaker.state() == "open" {
+		// Exact-rung capacity will not recover before the cooldown probes.
+		hint := int(s.cfg.BreakerCooldown / time.Second)
+		if hint > 25 {
+			hint = 25
+		}
+		secs += hint
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > maxKeyLen {
+		s.writeError(w, http.StatusBadRequest, "Idempotency-Key of %d bytes exceeds maximum %d", len(key), maxKeyLen)
+		return
+	}
 	if !acquire(s.ingestSem) {
 		s.met.rejectedIngest.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(s.ingestSem, false))
 		s.writeError(w, http.StatusTooManyRequests, "ingest queue full")
 		return
 	}
 	defer func() { <-s.ingestSem }()
 
 	var req ingestRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -144,7 +197,15 @@ func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 	for i, v := range req.Votes {
 		votes[i] = crowd.Vote{Worker: v.Worker, I: v.I, J: v.J, PrefersI: v.PrefersI}
 	}
-	res, err := s.IngestContext(r.Context(), votes)
+	// The server-side deadline bounds how long a request may hold an
+	// ingest slot; the client's own context still applies underneath.
+	ctx := r.Context()
+	if t := s.cfg.IngestTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	res, err := s.IngestKeyed(ctx, key, votes)
 	switch {
 	case err == nil:
 		s.writeJSON(w, http.StatusOK, res)
@@ -152,12 +213,21 @@ func (s *Server) handleVotes(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	case errors.Is(err, errBatchTooLarge):
 		s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	case errors.Is(err, errKeyTooLong):
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, journal.ErrPoisoned):
 		// A prior disk fault poisoned the journal: durability can no
 		// longer be promised, so no batch is acknowledged again until the
 		// operator replaces the volume and restarts.
 		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() == nil {
+			// The SERVER's ingest deadline fired, not the client's: the
+			// daemon is too slow right now, which is retryable.
+			w.Header().Set("Retry-After", s.retryAfter(s.ingestSem, false))
+			s.writeError(w, http.StatusServiceUnavailable, "ingest deadline exceeded before batch committed")
+			return
+		}
 		// Client vanished before the batch committed: nothing was written,
 		// nothing to acknowledge.
 		s.writeError(w, http.StatusBadRequest, "request cancelled before batch committed")
@@ -188,7 +258,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	if !acquire(s.rankSem) {
 		s.met.rejectedRank.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(s.rankSem, true))
 		s.writeError(w, http.StatusTooManyRequests, "rank queue full")
 		return
 	}

@@ -26,12 +26,14 @@ const (
 type metrics struct {
 	reg *obs.Registry
 
-	ingestBatches   *obs.Counter
-	ingestAccepted  *obs.Counter
-	ingestDuplicate *obs.Counter
-	ingestMalformed *obs.Counter
-	rejectedIngest  *obs.Counter // 429s from the full ingest queue
-	rejectedRank    *obs.Counter // 429s from the full rank queue
+	ingestBatches     *obs.Counter
+	ingestAccepted    *obs.Counter
+	ingestDuplicate   *obs.Counter
+	ingestMalformed   *obs.Counter
+	idempotentReplays *obs.Counter // keyed batches acked from the window, not re-applied
+	rejectedIngest    *obs.Counter // 429s from the full ingest queue
+	rejectedRank      *obs.Counter // 429s from the full rank queue
+	panics            *obs.Counter // handler panics answered 500
 
 	rankByAlgo   map[string]*obs.Counter
 	rankDegraded *obs.Counter
@@ -64,12 +66,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
 		reg: reg,
 
-		ingestBatches:   reg.Counter("crowdrankd_ingest_batches_total", "Acknowledged (durable) ingest batches."),
-		ingestAccepted:  reg.Counter("crowdrankd_ingest_votes_total", "Votes by ingest outcome.", obs.L("result", "accepted")),
-		ingestDuplicate: reg.Counter("crowdrankd_ingest_votes_total", "Votes by ingest outcome.", obs.L("result", "duplicate")),
-		ingestMalformed: reg.Counter("crowdrankd_ingest_votes_total", "Votes by ingest outcome.", obs.L("result", "malformed")),
-		rejectedIngest:  reg.Counter("crowdrankd_queue_rejections_total", "Requests answered 429 because a bounded queue was full.", obs.L("queue", "ingest")),
-		rejectedRank:    reg.Counter("crowdrankd_queue_rejections_total", "Requests answered 429 because a bounded queue was full.", obs.L("queue", "rank")),
+		ingestBatches:     reg.Counter("crowdrankd_ingest_batches_total", "Acknowledged (durable) ingest batches."),
+		ingestAccepted:    reg.Counter("crowdrankd_ingest_votes_total", "Votes by ingest outcome.", obs.L("result", "accepted")),
+		ingestDuplicate:   reg.Counter("crowdrankd_ingest_votes_total", "Votes by ingest outcome.", obs.L("result", "duplicate")),
+		ingestMalformed:   reg.Counter("crowdrankd_ingest_votes_total", "Votes by ingest outcome.", obs.L("result", "malformed")),
+		idempotentReplays: reg.Counter("crowdrankd_ingest_idempotent_replays_total", "Keyed batches acknowledged from the idempotency window without re-applying."),
+		rejectedIngest:    reg.Counter("crowdrankd_queue_rejections_total", "Requests answered 429 because a bounded queue was full.", obs.L("queue", "ingest")),
+		rejectedRank:      reg.Counter("crowdrankd_queue_rejections_total", "Requests answered 429 because a bounded queue was full.", obs.L("queue", "rank")),
+		panics:            reg.Counter("crowdrankd_http_panics_total", "HTTP handlers that panicked and were answered 500 by the recovery middleware."),
 
 		rankByAlgo:   make(map[string]*obs.Counter, len(rankAlgorithms)),
 		rankDegraded: reg.Counter("crowdrankd_rank_degraded_total", "Rank responses produced below the exact rung."),
@@ -134,6 +138,11 @@ func (s *Server) registerGauges() {
 	reg.GaugeFunc("crowdrankd_queue_depth", "Requests currently holding a bounded-queue slot.", func() float64 {
 		return float64(len(s.rankSem))
 	}, obs.L("queue", "rank"))
+	reg.GaugeFunc("crowdrankd_ack_window", "Batch idempotency keys currently remembered for exactly-once acks.", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.acks))
+	})
 	reg.GaugeFunc("crowdrankd_breaker_open", "1 while the exact-rung circuit breaker refuses exact search.", func() float64 {
 		if s.breaker.state() == "open" {
 			return 1

@@ -95,6 +95,20 @@ type Config struct {
 
 	// MaxBatchVotes caps one ingest batch (HTTP 413 beyond). Default 65536.
 	MaxBatchVotes int
+	// MaxBodyBytes caps one POST /votes request body before decoding
+	// starts (HTTP 413 beyond). 0 means the default 32 MiB.
+	MaxBodyBytes int64
+	// IngestTimeout bounds one POST /votes request server-side, so a
+	// stalled journal cannot pin ingest slots forever. 0 means the default
+	// 30s; negative disables the server-side bound (client deadlines still
+	// apply).
+	IngestTimeout time.Duration
+	// IdempotencyWindow is how many batch acks are remembered (and
+	// persisted through snapshots and journal records) for exactly-once
+	// acknowledgement of retried batches. 0 means the default 65536;
+	// negative disables the window — retried batches then re-apply and
+	// rely on vote-level dedup alone.
+	IdempotencyWindow int
 	// MaxConcurrentRanks and MaxConcurrentIngests bound the request
 	// queues; excess requests get HTTP 429 with Retry-After. Defaults 4
 	// and 64.
@@ -141,6 +155,9 @@ func DefaultConfig(n, m int) Config {
 		DefaultDeadline:         2 * time.Second,
 		MaxDeadline:             60 * time.Second,
 		MaxBatchVotes:           65536,
+		MaxBodyBytes:            32 << 20,
+		IngestTimeout:           30 * time.Second,
+		IdempotencyWindow:       65536,
 		MaxConcurrentRanks:      4,
 		MaxConcurrentIngests:    64,
 		BreakerThreshold:        3,
@@ -172,6 +189,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxBatchVotes == 0 {
 		c.MaxBatchVotes = d.MaxBatchVotes
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.IngestTimeout == 0 {
+		c.IngestTimeout = d.IngestTimeout
+	}
+	if c.IdempotencyWindow == 0 {
+		c.IdempotencyWindow = d.IdempotencyWindow
 	}
 	if c.MaxConcurrentRanks == 0 {
 		c.MaxConcurrentRanks = d.MaxConcurrentRanks
@@ -216,6 +242,8 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("serve: ExactLimit %d must be >= 1", c.ExactLimit)
 	case c.MaxBatchVotes < 1 || c.MaxConcurrentRanks < 1 || c.MaxConcurrentIngests < 1:
 		return c, fmt.Errorf("serve: batch and queue bounds must be >= 1")
+	case c.MaxBodyBytes < 1:
+		return c, fmt.Errorf("serve: MaxBodyBytes must be >= 1, got %d", c.MaxBodyBytes)
 	case c.BreakerThreshold < 1 || c.BreakerCooldown < 0:
 		return c, fmt.Errorf("serve: breaker threshold must be >= 1 and cooldown non-negative")
 	case c.DefaultDeadline < 0 || c.MaxDeadline <= 0 || c.MinRungBudget < 0:
@@ -272,11 +300,13 @@ type Server struct {
 	mu           sync.RWMutex
 	votes        []crowd.Vote
 	seen         map[submissionKey]bool
-	gen          uint64 // bumped whenever votes change; keys the closure cache
-	batches      int    // journal records acknowledged or replayed
-	dupVotes     int    // exact duplicates suppressed by apply
-	malformed    int    // votes dropped at ingest since start (not journaled)
-	lastSnapSeq  uint64 // coverage of the newest snapshot on disk
+	acks         map[string]IngestResult // batch idempotency window
+	ackOrder     []string                // FIFO eviction order for acks
+	gen          uint64                  // bumped whenever votes change; keys the closure cache
+	batches      int                     // journal records acknowledged or replayed
+	dupVotes     int                     // exact duplicates suppressed by apply
+	malformed    int                     // votes dropped at ingest since start (not journaled)
+	lastSnapSeq  uint64                  // coverage of the newest snapshot on disk
 	lastSnapGen  uint64
 	lastSnapPath string
 
@@ -315,6 +345,7 @@ func NewContext(ctx context.Context, cfg Config) (*Server, error) {
 		clock:     cfg.Clock,
 		met:       newMetrics(cfg.Metrics),
 		seen:      make(map[submissionKey]bool),
+		acks:      make(map[string]IngestResult),
 		breaker:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 		rankSem:   make(chan struct{}, cfg.MaxConcurrentRanks),
 		ingestSem: make(chan struct{}, cfg.MaxConcurrentIngests),
@@ -357,14 +388,27 @@ func (s *Server) recover(ctx context.Context, cfg Config) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		votes, _, err := decodeBatch(payload, cfg.N, cfg.M)
+		rec, err := decodeBatchRecord(payload, cfg.N, cfg.M)
 		if err != nil {
 			// A record that passed its checksum but does not decode is
 			// a foreign or incompatible journal — refuse to serve from
 			// it rather than guess.
 			return fmt.Errorf("serve: undecodable batch: %w", err)
 		}
-		s.apply(votes)
+		added, dups := s.apply(rec.votes)
+		if rec.key != "" {
+			// Rebuild the exact ack the batch originally received, so a
+			// retry of this key after the crash is acked without reapply.
+			s.mu.Lock()
+			s.recordAckLocked(rec.key, IngestResult{
+				Accepted:   added,
+				Duplicates: dups,
+				Malformed:  rec.malformed,
+				Seq:        s.batches,
+				TotalVotes: len(s.votes),
+			})
+			s.mu.Unlock()
+		}
 		return nil
 	}
 	// One trailing candidate past the snapshot list is the no-snapshot
@@ -449,7 +493,67 @@ func (s *Server) seedFromSnapshot(st snapshot.State) error {
 	s.gen = st.Gen
 	s.batches = int(st.Seq)
 	s.dupVotes = st.DupVotes
+	// Restore the ack window (oldest first, preserving eviction order) so
+	// batch retries straddling the restart still replay their original ack.
+	s.acks = make(map[string]IngestResult, len(st.Acks))
+	s.ackOrder = s.ackOrder[:0]
+	for _, a := range st.Acks {
+		s.recordAckLocked(a.Key, IngestResult{
+			Accepted:   a.Accepted,
+			Duplicates: a.Duplicates,
+			Malformed:  a.Malformed,
+			Seq:        a.Seq,
+			TotalVotes: a.TotalVotes,
+		})
+	}
 	return nil
+}
+
+// lookupAck returns the remembered ack for key, if the idempotency window
+// still holds it.
+func (s *Server) lookupAck(key string) (IngestResult, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, ok := s.acks[key]
+	return res, ok
+}
+
+// recordAckLocked remembers one batch ack under its idempotency key,
+// evicting the oldest entries beyond the window. Callers hold s.mu.
+func (s *Server) recordAckLocked(key string, res IngestResult) {
+	if s.cfg.IdempotencyWindow <= 0 {
+		return
+	}
+	if _, ok := s.acks[key]; ok {
+		return
+	}
+	s.acks[key] = res
+	s.ackOrder = append(s.ackOrder, key)
+	for len(s.ackOrder) > s.cfg.IdempotencyWindow {
+		delete(s.acks, s.ackOrder[0])
+		s.ackOrder = s.ackOrder[1:]
+	}
+}
+
+// ackWindowLocked copies the ack window oldest-first for a snapshot.
+// Callers hold s.mu (read or write).
+func (s *Server) ackWindowLocked() []snapshot.AckEntry {
+	if len(s.ackOrder) == 0 {
+		return nil
+	}
+	out := make([]snapshot.AckEntry, 0, len(s.ackOrder))
+	for _, key := range s.ackOrder {
+		res := s.acks[key]
+		out = append(out, snapshot.AckEntry{
+			Key:        key,
+			Accepted:   res.Accepted,
+			Duplicates: res.Duplicates,
+			Malformed:  res.Malformed,
+			Seq:        res.Seq,
+			TotalVotes: res.TotalVotes,
+		})
+	}
+	return out
 }
 
 // apply folds one validated batch into the in-memory state, suppressing
@@ -490,7 +594,21 @@ func (s *Server) Ingest(votes []crowd.Vote) (IngestResult, error) {
 // — there is no cancelling a half-fsynced record — so a ctx that expires
 // later does not un-acknowledge it.
 func (s *Server) IngestContext(ctx context.Context, votes []crowd.Vote) (IngestResult, error) {
-	res, err := s.ingest(ctx, votes)
+	return s.IngestKeyed(ctx, "", votes)
+}
+
+// IngestKeyed is IngestContext under a client-chosen idempotency key (the
+// library form of POST /votes with an Idempotency-Key header). While the
+// key stays inside the idempotency window, a repeated IngestKeyed — a
+// network retry after a lost ack, before or after a daemon restart —
+// returns the original acknowledgement with Replayed set, without
+// journaling or applying the batch a second time. An empty key ingests
+// without idempotency, exactly like IngestContext.
+func (s *Server) IngestKeyed(ctx context.Context, key string, votes []crowd.Vote) (IngestResult, error) {
+	if len(key) > maxKeyLen {
+		return IngestResult{}, fmt.Errorf("serve: idempotency key of %d bytes exceeds maximum %d: %w", len(key), maxKeyLen, errKeyTooLong)
+	}
+	res, err := s.ingest(ctx, key, votes)
 	if err == nil {
 		// The batch is durable and acknowledged whatever the snapshot
 		// policy does next; maybeSnapshot runs outside the shutdown lock
@@ -500,7 +618,7 @@ func (s *Server) IngestContext(ctx context.Context, votes []crowd.Vote) (IngestR
 	return res, err
 }
 
-func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, error) {
+func (s *Server) ingest(ctx context.Context, key string, votes []crowd.Vote) (IngestResult, error) {
 	var res IngestResult
 	if s.closing.Load() {
 		return res, errShuttingDown
@@ -509,6 +627,15 @@ func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, 
 	defer s.closeMu.RUnlock()
 	if s.closing.Load() {
 		return res, errShuttingDown
+	}
+	// Fast path for a retried key: answer from the ack window before
+	// spending any validation or journal work.
+	if key != "" {
+		if cached, ok := s.lookupAck(key); ok {
+			s.met.idempotentReplays.Inc()
+			cached.Replayed = true
+			return cached, nil
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return res, err
@@ -529,7 +656,17 @@ func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, 
 	s.mu.Unlock()
 	s.met.ingestMalformed.Add(uint64(res.Malformed))
 	if len(valid) == 0 {
-		res.TotalVotes = s.VoteCount()
+		// Nothing durable to write, but the ack is still remembered so a
+		// network retry of this key replays instead of re-validating. (An
+		// all-malformed batch journals nothing, so this entry does not
+		// survive a restart — there is no applied state to protect.)
+		s.mu.Lock()
+		res.Seq = s.batches
+		res.TotalVotes = len(s.votes)
+		if key != "" {
+			s.recordAckLocked(key, res)
+		}
+		s.mu.Unlock()
 		return res, nil
 	}
 	// Last chance to honor cancellation: past this point the batch
@@ -541,23 +678,47 @@ func (s *Server) ingest(ctx context.Context, votes []crowd.Vote) (IngestResult, 
 	// journal order and apply order agree and a concurrent snapshot can
 	// never observe a NextSeq whose record is not yet in memory.
 	s.writeMu.Lock()
+	// Authoritative replay check: a concurrent retry of the same key may
+	// have committed between the fast path above and acquiring writeMu.
+	// Under writeMu no other append can interleave, so a miss here
+	// guarantees this goroutine is the one that journals the batch.
+	if key != "" {
+		if cached, ok := s.lookupAck(key); ok {
+			s.writeMu.Unlock()
+			s.met.idempotentReplays.Inc()
+			cached.Replayed = true
+			return cached, nil
+		}
+	}
 	if s.jnl != nil {
+		payload := encodeBatch(valid)
+		if key != "" {
+			// Keyed batches journal their key and malformed count, so
+			// replay after a crash rebuilds the identical ack.
+			payload = encodeBatchKeyed(key, res.Malformed, valid)
+		}
 		//lint:ignore lockcheck durable-before-ack: the append (and its fsync) must finish under writeMu before apply so journal order equals apply order, and under closeMu so shutdown cannot close the journal mid-batch
-		if _, err := s.jnl.Append(encodeBatch(valid)); err != nil {
+		if _, err := s.jnl.Append(payload); err != nil {
 			s.writeMu.Unlock()
 			return res, fmt.Errorf("serve: journaling batch: %w", err)
 		}
 	}
 	res.Accepted, res.Duplicates = s.apply(valid)
+	// Capture the ack fields and record the key in the same mu hold as the
+	// apply's effects, still under writeMu: the remembered ack is exactly
+	// what this request returns.
+	s.mu.Lock()
+	res.Seq = s.batches
+	res.TotalVotes = len(s.votes)
+	if key != "" {
+		s.recordAckLocked(key, res)
+	}
+	s.mu.Unlock()
 	s.writeMu.Unlock()
 	s.met.ingestBatches.Inc()
 	s.met.ingestAccepted.Add(uint64(res.Accepted))
 	s.met.ingestDuplicate.Add(uint64(res.Duplicates))
 	s.sinceSnap.Add(1)
-	s.mu.RLock()
-	res.Seq = s.batches
-	res.TotalVotes = len(s.votes)
-	s.mu.RUnlock()
 	return res, nil
 }
 
@@ -628,6 +789,7 @@ func (s *Server) Snapshot() (SnapshotResult, error) {
 		Gen:      s.gen,
 		DupVotes: s.dupVotes,
 		Votes:    s.votes[:len(s.votes):len(s.votes)],
+		Acks:     s.ackWindowLocked(),
 	}
 	s.mu.RUnlock()
 	s.writeMu.Unlock()
@@ -688,6 +850,10 @@ type IngestResult struct {
 	Seq int `json:"seq"`
 	// TotalVotes is the state size after this batch.
 	TotalVotes int `json:"total_votes"`
+	// Replayed marks an acknowledgement served from the idempotency
+	// window: the batch was already durable from an earlier delivery of
+	// the same key and was NOT applied again.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // snapshot returns the current vote slice and its generation. The slice is
@@ -738,15 +904,18 @@ func (s *Server) VoteCount() int {
 
 // Stats is a point-in-time operational snapshot, served on /healthz.
 type Stats struct {
-	Objects    int    `json:"objects"`
-	Workers    int    `json:"workers"`
-	Votes      int    `json:"votes"`
-	Batches    int    `json:"batches"`
-	Duplicates int    `json:"duplicates"`
-	Malformed  int    `json:"malformed"`
-	Seed       uint64 `json:"seed"`
-	Breaker    string `json:"breaker"`
-	Journal    string `json:"journal,omitempty"`
+	Objects    int `json:"objects"`
+	Workers    int `json:"workers"`
+	Votes      int `json:"votes"`
+	Batches    int `json:"batches"`
+	Duplicates int `json:"duplicates"`
+	Malformed  int `json:"malformed"`
+	// AckWindow is how many batch idempotency keys are currently
+	// remembered for exactly-once acknowledgement.
+	AckWindow int    `json:"ack_window"`
+	Seed      uint64 `json:"seed"`
+	Breaker   string `json:"breaker"`
+	Journal   string `json:"journal,omitempty"`
 	// Disk accounting, for alerting on unbounded growth: live journal
 	// bytes and segment count, plus bytes held by snapshot files.
 	JournalBytes    int64 `json:"journal_bytes"`
@@ -782,6 +951,7 @@ func (s *Server) StatsSnapshot() Stats {
 		Batches:          s.batches,
 		Duplicates:       s.dupVotes,
 		Malformed:        s.malformed,
+		AckWindow:        len(s.acks),
 		Seed:             s.cfg.Seed,
 		LastSnapshotSeq:  s.lastSnapSeq,
 		LastSnapshotGen:  s.lastSnapGen,
@@ -857,6 +1027,7 @@ var (
 	errShuttingDown  = fmt.Errorf("serve: server is shutting down")
 	errBatchTooLarge = fmt.Errorf("serve: batch exceeds MaxBatchVotes")
 	errNoJournal     = fmt.Errorf("serve: server is running in-memory; nothing to snapshot")
+	errKeyTooLong    = fmt.Errorf("serve: idempotency key too long")
 )
 
 // testJournalFaults is the disk-fault injection seam: tests point it at a

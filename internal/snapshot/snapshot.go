@@ -11,10 +11,13 @@
 //
 // # On-disk format
 //
-//	8 bytes   magic + version ("CRWDSNP\x01")
+//	8 bytes   magic + version ("CRWDSNP\x02")
 //	4 bytes   CRC32-Castagnoli of the payload, little-endian
 //	8 bytes   payload length, little-endian uint64
 //	payload   varint-encoded State (see encode)
+//
+// Version 2 appends the batch-ack idempotency window after the votes;
+// version-1 files ("CRWDSNP\x01") still load, with an empty window.
 //
 // Snapshot files are named snapshot.<seq> (zero-padded, so lexical and
 // numeric order agree) and written atomically: temp file in the same
@@ -39,8 +42,12 @@ import (
 )
 
 // fileMagic identifies a crowdrank snapshot; the final byte is the format
-// version.
-var fileMagic = []byte("CRWDSNP\x01")
+// version. Version 2 appends the batch-ack window after the votes;
+// version 1 files (no ack window) still load, with empty Acks.
+var (
+	fileMagic   = []byte("CRWDSNP\x02")
+	fileMagicV1 = []byte("CRWDSNP\x01")
+)
 
 // headerSize is magic (8) + CRC (4) + payload length (8).
 const headerSize = 20
@@ -74,7 +81,26 @@ type State struct {
 	DupVotes int
 	// Votes is the deduplicated vote state, in acceptance order.
 	Votes []crowd.Vote
+	// Acks is the batch idempotency window at capture, oldest first, so a
+	// retried batch key is answered with its original ack across restarts
+	// without re-journaling.
+	Acks []AckEntry
 }
+
+// AckEntry is one remembered batch acknowledgement: the idempotency key
+// and exactly what the daemon answered when the batch became durable.
+type AckEntry struct {
+	Key        string
+	Accepted   int
+	Duplicates int
+	Malformed  int
+	Seq        int
+	TotalVotes int
+}
+
+// maxAckKeyLen bounds one stored idempotency key; serve enforces the
+// same bound at ingest, so a longer key in a snapshot is corruption.
+const maxAckKeyLen = 256
 
 // Entry is one snapshot file found by List.
 type Entry struct {
@@ -106,6 +132,16 @@ func encode(st State) []byte {
 			buf = append(buf, 0)
 		}
 	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Acks)))
+	for _, a := range st.Acks {
+		buf = binary.AppendUvarint(buf, uint64(len(a.Key)))
+		buf = append(buf, a.Key...)
+		buf = binary.AppendUvarint(buf, uint64(a.Accepted))
+		buf = binary.AppendUvarint(buf, uint64(a.Duplicates))
+		buf = binary.AppendUvarint(buf, uint64(a.Malformed))
+		buf = binary.AppendUvarint(buf, uint64(a.Seq))
+		buf = binary.AppendUvarint(buf, uint64(a.TotalVotes))
+	}
 	return buf
 }
 
@@ -114,7 +150,9 @@ func encode(st State) []byte {
 // the declared universe. Unlike journal replay — where an out-of-universe
 // vote is dropped and counted — a snapshot vote that fails validation
 // means the snapshot itself is untrustworthy, so decode refuses outright.
-func decode(data []byte) (State, error) {
+// version selects the payload layout: 1 ends after the votes, 2 appends
+// the ack window.
+func decode(data []byte, version byte) (State, error) {
 	var st State
 	rest := data
 	readField := func(fieldName string) (uint64, error) {
@@ -192,6 +230,51 @@ func decode(data []byte) (State, error) {
 		}
 		st.Votes = append(st.Votes, v)
 	}
+	if version >= 2 {
+		ackCount, err := readField("ack count")
+		if err != nil {
+			return st, err
+		}
+		// Each ack takes at least 6 bytes (empty key + five counters).
+		if ackCount > uint64(len(rest)) {
+			return st, fmt.Errorf("snapshot: ack count %d exceeds payload capacity %d", ackCount, len(rest))
+		}
+		st.Acks = make([]AckEntry, 0, ackCount)
+		for i := uint64(0); i < ackCount; i++ {
+			keyLen, err := readField("ack key length")
+			if err != nil {
+				return st, err
+			}
+			if keyLen == 0 || keyLen > maxAckKeyLen {
+				return st, fmt.Errorf("snapshot: ack %d key length %d outside [1,%d]", i, keyLen, maxAckKeyLen)
+			}
+			if uint64(len(rest)) < keyLen {
+				return st, fmt.Errorf("snapshot: ack %d key truncated", i)
+			}
+			a := AckEntry{Key: string(rest[:keyLen])}
+			rest = rest[keyLen:]
+			for _, f := range []struct {
+				name string
+				dst  *int
+			}{
+				{"ack accepted", &a.Accepted},
+				{"ack duplicates", &a.Duplicates},
+				{"ack malformed", &a.Malformed},
+				{"ack sequence", &a.Seq},
+				{"ack total votes", &a.TotalVotes},
+			} {
+				v, err := readField(f.name)
+				if err != nil {
+					return st, err
+				}
+				if v >= maxID {
+					return st, fmt.Errorf("snapshot: implausible %s %d", f.name, v)
+				}
+				*f.dst = int(v)
+			}
+			st.Acks = append(st.Acks, a)
+		}
+	}
 	if len(rest) != 0 {
 		return st, fmt.Errorf("snapshot: %d trailing bytes", len(rest))
 	}
@@ -265,7 +348,13 @@ func Load(path string) (State, error) {
 	if len(data) < headerSize {
 		return st, fmt.Errorf("snapshot: %s too short for header (%d bytes)", path, len(data))
 	}
-	if string(data[:8]) != string(fileMagic) {
+	var version byte
+	switch {
+	case string(data[:8]) == string(fileMagic):
+		version = 2
+	case string(data[:8]) == string(fileMagicV1):
+		version = 1
+	default:
 		return st, fmt.Errorf("snapshot: %s has bad magic %q", path, data[:8])
 	}
 	want := binary.LittleEndian.Uint32(data[8:12])
@@ -277,7 +366,7 @@ func Load(path string) (State, error) {
 	if got := crc32.Checksum(payload, castagnoli); got != want {
 		return st, fmt.Errorf("snapshot: %s checksum mismatch: recorded %08x, computed %08x", path, want, got)
 	}
-	st, err = decode(payload)
+	st, err = decode(payload, version)
 	if err != nil {
 		return st, err
 	}

@@ -1,6 +1,8 @@
 package snapshot
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -217,7 +219,7 @@ func FuzzSnapshotLoad(f *testing.F) {
 			t.Fatalf("reloading rewritten state: %v", err)
 		}
 		if st2.N != st.N || st2.M != st.M || st2.Seq != st.Seq || st2.Gen != st.Gen ||
-			st2.DupVotes != st.DupVotes || len(st2.Votes) != len(st.Votes) {
+			st2.DupVotes != st.DupVotes || len(st2.Votes) != len(st.Votes) || len(st2.Acks) != len(st.Acks) {
 			t.Fatalf("round trip drift: %+v vs %+v", st, st2)
 		}
 		for i := range st.Votes {
@@ -226,4 +228,92 @@ func FuzzSnapshotLoad(f *testing.F) {
 			}
 		}
 	})
+}
+
+func TestAckWindowRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState(11)
+	st.Acks = []AckEntry{
+		{Key: "0123456789abcdef", Accepted: 3, Duplicates: 1, Malformed: 2, Seq: 1, TotalVotes: 3},
+		{Key: "k2", Accepted: 0, Duplicates: 4, Malformed: 0, Seq: 2, TotalVotes: 3},
+	}
+	path, err := Write(dir, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Acks) != len(st.Acks) {
+		t.Fatalf("ack count %d, want %d", len(got.Acks), len(st.Acks))
+	}
+	for i := range st.Acks {
+		if got.Acks[i] != st.Acks[i] {
+			t.Fatalf("ack %d = %+v, want %+v", i, got.Acks[i], st.Acks[i])
+		}
+	}
+}
+
+// TestLoadV1Compat hand-builds a version-1 snapshot (no ack section) and
+// checks it still loads, with an empty window — upgraded daemons must
+// recover from snapshots written before the format grew acks.
+func TestLoadV1Compat(t *testing.T) {
+	st := sampleState(9)
+	payload := encode(st)
+	// encode always appends the ack section; a v1 payload ends after the
+	// votes, so strip the trailing zero ack count.
+	if len(st.Acks) != 0 || payload[len(payload)-1] != 0 {
+		t.Fatal("test setup: expected a trailing zero ack count")
+	}
+	payload = payload[:len(payload)-1]
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, fileMagicV1)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+
+	path := filepath.Join(t.TempDir(), "v1snap")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("v1 snapshot should load: %v", err)
+	}
+	if got.Seq != st.Seq || len(got.Votes) != len(st.Votes) || len(got.Acks) != 0 {
+		t.Fatalf("v1 load drifted: %+v", got)
+	}
+	// The same payload under the v2 magic is truncated (missing ack
+	// section) and must be rejected, not guessed at.
+	copy(buf, fileMagic)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("v2 magic over a v1 payload should fail to load")
+	}
+}
+
+func TestLoadRejectsBadAckSection(t *testing.T) {
+	base := sampleState(4)
+	damage := map[string]State{
+		"oversized key": {N: base.N, M: base.M, Seq: 4, Votes: base.Votes,
+			Acks: []AckEntry{{Key: strings.Repeat("k", maxAckKeyLen+1), Accepted: 1}}},
+		"empty key": {N: base.N, M: base.M, Seq: 4, Votes: base.Votes,
+			Acks: []AckEntry{{Key: "", Accepted: 1}}},
+	}
+	for name, st := range damage {
+		t.Run(name, func(t *testing.T) {
+			// Write validates nothing about acks (serve enforces the bound
+			// at ingest), so the file is produced; Load must refuse it.
+			path, err := Write(t.TempDir(), st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(path); err == nil {
+				t.Fatal("snapshot with a damaged ack section loaded without error")
+			}
+		})
+	}
 }

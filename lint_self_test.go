@@ -13,7 +13,7 @@ import (
 func TestCrowdlintAllChecksRegistered(t *testing.T) {
 	want := []string{
 		"globalrand", "floatcmp", "ctxloop", "panics", "errcheck",
-		"lockcheck", "goroleak", "ackflow",
+		"lockcheck", "goroleak", "ackflow", "srvtimeout",
 	}
 	if len(lint.AllChecks) != len(want) {
 		t.Fatalf("AllChecks = %v, want %v", lint.AllChecks, want)

@@ -16,7 +16,7 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== crowdlint ./... (all 8 checks incl. lockcheck/goroleak/ackflow) =="
+echo "== crowdlint ./... (all 9 checks incl. lockcheck/goroleak/ackflow/srvtimeout) =="
 go run ./cmd/crowdlint ./...
 
 echo "== go build ./... =="
@@ -27,6 +27,11 @@ go test -race ./...
 
 echo "== chaos: SIGKILL mid-ingest and mid-snapshot recovery =="
 go test -count=1 -run 'TestChaos' ./internal/serve
+
+echo "== chaos soak: exactly-once acks through the netfault proxy =="
+# Short soak by default; set CROWDRANK_SOAK_BATCHES (e.g. 500) for a long
+# drill. CROWDRANK_SOAK_SUMMARY captures a JSON run summary (CI uploads it).
+go test -count=1 -run 'TestChaosSoakExactlyOnce' ./internal/client
 
 echo "== fuzz smoke: journal replay =="
 go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=20s ./internal/serve
