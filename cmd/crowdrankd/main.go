@@ -6,11 +6,13 @@
 //
 //	crowdrankd -n 100 -m 30 -journal votes.wal [-addr :8077] [-seed S]
 //	           [-fsync always|os] [-parallelism P] [-exact-limit K]
-//	           [-snapshot-every N] [-max-journal-bytes M]
+//	           [-snapshot-every N] [-max-journal-bytes M] [-snapshot-keep K]
 //	           [-drain 10s] [-addr-file path]
 //	           [-pprof addr] [-slow-request 1s]
 //	           [-read-timeout 1m] [-write-timeout 2m] [-idle-timeout 2m]
 //	           [-idempotency-window N] [-chaos spec]
+//	           [-replicate-from URL] [-epoch-dir path] [-advertise URL]
+//	           [-max-lag N]
 //
 // Endpoints:
 //
@@ -20,11 +22,30 @@
 //	POST /snapshot   take a state snapshot now and compact the journal
 //	GET  /metrics    Prometheus text exposition: ingest/rank counters,
 //	                 per-stage latency histograms, journal and snapshot
-//	                 timings, queue depths, breaker state
+//	                 timings, queue depths, breaker state, replication
+//	                 role/epoch/lag
 //	GET  /healthz    operational stats (journal/snapshot disk usage,
-//	                 segment count, last snapshot, last sync error)
-//	GET  /readyz     503 once shutdown has begun or a disk fault has
-//	                 poisoned the journal
+//	                 segment count, last snapshot, last sync error, ack
+//	                 window occupancy/capacity, replication status)
+//	GET  /readyz     503 once shutdown has begun, a disk fault has
+//	                 poisoned the journal, or — on a follower — the
+//	                 replication stream is detached or more than
+//	                 -max-lag records behind
+//	GET  /replicate/stream    leader: journal records from ?from=, then
+//	                          live appends and heartbeats (follower API)
+//	GET  /replicate/snapshot  leader: current state snapshot, for
+//	                          bootstrapping an empty follower
+//	POST /promote    bump the fencing epoch durably and take over as
+//	                 leader (operator failover action)
+//
+// Replication: start a warm standby with -replicate-from pointing at the
+// leader's base URL. The follower bootstraps from the leader's snapshot
+// when its own store is empty, tails the journal stream, serves reads,
+// and answers ingest with 503 plus an X-Crowdrank-Leader hint. On leader
+// loss, POST /promote on the survivor; the bumped epoch fences the old
+// leader if it comes back. -advertise sets the URL handed out in hints
+// (defaults to the bound address); -epoch-dir stores the fencing epoch
+// (defaults to the journal directory).
 //
 // -pprof serves net/http/pprof on a SEPARATE listener (loopback it in
 // production); profiling never shares the public API port. Requests
@@ -67,6 +88,7 @@ import (
 
 	"crowdrank"
 	"crowdrank/internal/netfault"
+	"crowdrank/internal/replica"
 )
 
 func main() {
@@ -100,11 +122,19 @@ func run(args []string, out io.Writer) error {
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
 	idemWindow := fs.Int("idempotency-window", 0, "batch acks remembered for exactly-once retries (0: default 65536, negative: disable)")
 	chaosSpec := fs.String("chaos", "", "TESTING ONLY: netfault spec injecting faults on the public listener (e.g. \"seed=7,latency=2ms,reset=0.05\")")
+	snapshotKeep := fs.Int("snapshot-keep", 2, "on-disk snapshots retained after compaction (minimum 1)")
+	replicateFrom := fs.String("replicate-from", "", "leader base URL to follow as a warm standby (empty: this node leads)")
+	epochDir := fs.String("epoch-dir", "", "directory for the durable fencing epoch (empty: the journal directory)")
+	advertise := fs.String("advertise", "", "base URL handed to clients as the leader hint (empty: http://<bound address>)")
+	maxLag := fs.Uint64("max-lag", 0, "follower readiness threshold in records behind the leader (0: default 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n < 1 || *m < 1 {
 		return fmt.Errorf("-n and -m are required (got n=%d m=%d)", *n, *m)
+	}
+	if *snapshotKeep < 1 {
+		return fmt.Errorf("-snapshot-keep must be >= 1 (the newest snapshot must survive pruning), got %d", *snapshotKeep)
 	}
 	var chaosCfg netfault.Config
 	if *chaosSpec != "" {
@@ -122,6 +152,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Parallelism = *parallelism
 	cfg.SlowRequestThreshold = *slowReq
 	cfg.IdempotencyWindow = *idemWindow
+	cfg.SnapshotKeep = *snapshotKeep
 	if *writeTimeout > 0 && *writeTimeout <= cfg.MaxDeadline {
 		return fmt.Errorf("-write-timeout %v must exceed the rank deadline cap %v, or responses get cut mid-flight", *writeTimeout, cfg.MaxDeadline)
 	}
@@ -143,15 +174,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "crowdrankd: warning: no -journal; acknowledged votes will NOT survive a crash")
 	}
 
-	srv, err := crowdrank.NewRankServer(cfg)
-	if err != nil {
-		// Among other refusals, an unwritable journal directory fails here
-		// — before the listener binds — so the exit code, not the first
-		// acked ingest, is what breaks.
-		return err
-	}
+	// An unwritable journal directory fails here — before the listener
+	// binds — so the exit code, not the first acked ingest, is what breaks.
 	if *journalPath != "" {
-		fmt.Fprintf(out, "crowdrankd: recovery: %s (%d votes)\n", srv.Recovered(), srv.VoteCount())
+		if err := probeWritable(*journalPath); err != nil {
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -166,6 +194,34 @@ func run(args []string, out io.Writer) error {
 		ln = fln
 		fmt.Fprintf(out, "crowdrankd: CHAOS MODE: injecting faults on the public listener (%s)\n", *chaosSpec)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rcfg := replica.Config{
+		Self:     *advertise,
+		Leader:   *replicateFrom,
+		EpochDir: *epochDir,
+		MaxLag:   *maxLag,
+		Logf:     cfg.Logf,
+	}
+	if rcfg.Self == "" {
+		rcfg.Self = "http://" + ln.Addr().String()
+	}
+	if rcfg.EpochDir == "" {
+		// In-memory nodes (no journal) keep the epoch in memory too.
+		rcfg.EpochDir = *journalPath
+	}
+	node, err := replica.Open(ctx, rcfg, cfg)
+	if err != nil {
+		//lint:ignore errcheck error-path cleanup of a listener nothing is serving yet
+		_ = ln.Close()
+		return err
+	}
+	srv := node.Server()
+	if *journalPath != "" {
+		fmt.Fprintf(out, "crowdrankd: recovery: %s (%d votes)\n", srv.Recovered(), srv.VoteCount())
+	}
 	if *addrFile != "" {
 		// Written atomically so watchers never read a half-written address.
 		tmp := *addrFile + ".tmp"
@@ -176,7 +232,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "crowdrankd: serving n=%d m=%d seed=%d on %s\n", *n, *m, srv.Seed(), ln.Addr())
+	fmt.Fprintf(out, "crowdrankd: serving n=%d m=%d seed=%d role=%s epoch=%d on %s\n", *n, *m, srv.Seed(), node.Role(), node.Epoch(), ln.Addr())
+	if *replicateFrom != "" {
+		fmt.Fprintf(out, "crowdrankd: replicating from %s (advertised as %s)\n", *replicateFrom, rcfg.Self)
+	}
 
 	if *pprofAddr != "" {
 		pln, err := net.Listen("tcp", *pprofAddr)
@@ -213,14 +272,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           node.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -236,11 +293,30 @@ func run(args []string, out io.Writer) error {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(out, "crowdrankd: shutdown: %v\n", err)
 	}
-	// Close drains anything Shutdown abandoned and performs the final
-	// journal sync; after this every acknowledged batch is on disk.
-	if err := srv.Close(); err != nil {
+	// Close stops the replication loop, drains anything Shutdown abandoned,
+	// and performs the final journal sync; after this every acknowledged
+	// batch is on disk.
+	if err := node.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "crowdrankd: journal synced, bye")
+	return nil
+}
+
+// probeWritable verifies the journal directory can be created and written
+// before the listener binds, mirroring the journal's own startup check.
+func probeWritable(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal directory %s is not writable: %w", dir, err)
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("journal directory %s is not writable: %w", dir, err)
+	}
+	name := f.Name()
+	//lint:ignore errcheck the probe file carries no data worth flushing
+	_ = f.Close()
+	//lint:ignore errcheck best-effort cleanup of an empty probe file
+	_ = os.Remove(name)
 	return nil
 }

@@ -22,6 +22,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-n", "5", "-m", "2", "-chaos", "reset=0.5"},  // chaos without a seed
 		{"-n", "5", "-m", "2", "-write-timeout", "1s"}, // below the rank deadline cap
 		{"-n", "5", "-m", "2", "-write-timeout", "1m"}, // equal to the cap is still unsafe
+		{"-n", "5", "-m", "2", "-snapshot-keep", "0"},  // would prune the newest snapshot
+		{"-n", "5", "-m", "2", "-addr", "127.0.0.1:0", // node following itself
+			"-replicate-from", "http://x:1", "-advertise", "http://x:1"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -189,6 +192,104 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "recovery: replayed 0 records from 1 segments (clean)") {
 		t.Fatalf("startup should log ReplayStats; output:\n%s", out.String())
+	}
+}
+
+// TestDaemonWarmStandbyLifecycle boots a leader and a follower daemon
+// in-process, replicates ingest across them, promotes the follower over
+// HTTP, and verifies the role change is visible on /healthz before both
+// shut down on one self-delivered SIGTERM.
+func TestDaemonWarmStandbyLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon lifecycle test skipped in -short")
+	}
+	dir := t.TempDir()
+	out := &syncBuffer{}
+	done := make(chan error, 2)
+	startDaemon := func(name string, extra ...string) string {
+		t.Helper()
+		addrFile := filepath.Join(dir, name+".addr")
+		args := append([]string{
+			"-n", "5", "-m", "2",
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-journal", filepath.Join(dir, name+".wal"),
+			"-seed", "7",
+			"-drain", "5s",
+		}, extra...)
+		go func() { done <- run(args, out) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if b, err := os.ReadFile(addrFile); err == nil {
+				return "http://" + string(b)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon %s never wrote %s; output:\n%s", name, addrFile, out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitBody := func(url, want string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(url)
+			if err == nil {
+				var buf bytes.Buffer
+				_, _ = buf.ReadFrom(resp.Body) //nolint:errcheck // retried below
+				_ = resp.Body.Close()          //nolint:errcheck // test poll loop
+				if strings.Contains(buf.String(), want) {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never contained %q; output:\n%s", url, want, out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	leaderURL := startDaemon("leader")
+	resp, err := http.Post(leaderURL+"/votes", "application/json",
+		strings.NewReader(`{"votes":[{"worker":0,"i":0,"j":1,"prefers_i":true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	followerURL := startDaemon("follower", "-replicate-from", leaderURL)
+	waitBody(followerURL+"/healthz", `"lag":0`)
+	waitBody(followerURL+"/healthz", `"role":"follower"`)
+	// The replicated vote is readable on the standby.
+	waitBody(followerURL+"/rank?deadline_ms=500", `"ranking"`)
+
+	// Operator failover: promote the standby over HTTP.
+	promote, err := http.Post(followerURL+"/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = promote.Body.Close() }()
+	if promote.StatusCode != http.StatusOK {
+		t.Fatalf("promote status %d", promote.StatusCode)
+	}
+	waitBody(followerURL+"/healthz", `"role":"leader"`)
+	waitBody(followerURL+"/healthz", `"epoch":1`)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("graceful shutdown failed: %v\noutput:\n%s", err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("daemons did not shut down; output:\n%s", out.String())
+		}
 	}
 }
 

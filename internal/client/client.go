@@ -29,10 +29,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdrank/internal/crowd"
 	"crowdrank/internal/obs"
+)
+
+// Replication protocol headers (mirroring internal/replica): followers
+// reject ingest with a 503 carrying the leader hint, and every node
+// stamps its fencing epoch on responses. The client replays the highest
+// epoch it has seen on each request — that echo is what fences a deposed
+// leader that missed the promotion.
+const (
+	leaderHeader = "X-Crowdrank-Leader"
+	epochHeader  = "X-Crowdrank-Epoch"
 )
 
 // Config configures a Client. Zero-valued fields take the documented
@@ -144,6 +155,20 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: daemon answered %d: %s", e.Status, strings.TrimSpace(e.Body))
 }
 
+// LeaderRedirect reports that the addressed node is a warm-standby
+// follower: the request was NOT applied there, and Leader is the node's
+// best hint for where the leader is. A Pool follows the hint
+// automatically; a single-endpoint Client surfaces it immediately (no
+// point retrying a follower) so the caller can re-point.
+type LeaderRedirect struct {
+	Leader string
+	Body   string
+}
+
+func (e *LeaderRedirect) Error() string {
+	return fmt.Sprintf("client: node is a follower; leader hint %q: %s", e.Leader, strings.TrimSpace(e.Body))
+}
+
 // metrics is the client's counter bundle.
 type cmetrics struct {
 	attempts     *obs.Counter
@@ -165,6 +190,12 @@ type Client struct {
 	// goroutines but each draw stays atomic, keeping the stream valid.
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// epoch ratchets the highest replication epoch seen on any response
+	// and is echoed on every request. A Pool points all its per-endpoint
+	// clients at one shared counter, so an epoch learned from the new
+	// leader immediately fences the old one on the next contact.
+	epoch *atomic.Uint64
 
 	// sleep is the backoff wait, a seam so tests assert on the schedule
 	// instead of actually sleeping. It must honor ctx.
@@ -188,6 +219,7 @@ func New(cfg Config) (*Client, error) {
 			replayedAcks: cfg.Metrics.Counter("crowdrank_client_replayed_acks_total", "Acks served from the daemon's idempotency window (retry after a lost ack)."),
 			exhausted:    cfg.Metrics.Counter("crowdrank_client_exhausted_total", "Calls that failed every attempt."),
 		},
+		epoch: &atomic.Uint64{},
 		sleep: sleepCtx,
 		logf:  cfg.Logf,
 	}
@@ -332,6 +364,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if key != "" {
 		req.Header.Set("Idempotency-Key", key)
 	}
+	if e := c.epoch.Load(); e > 0 {
+		req.Header.Set(epochHeader, strconv.FormatUint(e, 10))
+	}
 	c.met.attempts.Inc()
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -348,6 +383,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		//lint:ignore errcheck response body close on a fully-consumed or abandoned response carries nothing actionable
 		_ = resp.Body.Close()
 	}()
+	c.noteEpoch(resp.Header)
 	// Bound error bodies too: a hostile or confused server must not balloon
 	// the client.
 	limited := io.LimitReader(resp.Body, 1<<20)
@@ -364,6 +400,14 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return true, 0, nil
 	}
 	raw, _ := io.ReadAll(limited) //nolint:errcheck // best-effort error context
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if hint := resp.Header.Get(leaderHeader); hint != "" {
+			// A follower rejecting ingest: retrying the same node cannot
+			// succeed until a promotion, but the hint says where the
+			// leader is. Final for this endpoint; a Pool re-routes.
+			return true, 0, &LeaderRedirect{Leader: hint, Body: string(raw)}
+		}
+	}
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
 		http.StatusInternalServerError, http.StatusBadGateway, http.StatusGatewayTimeout:
@@ -386,6 +430,28 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return true, 0, &StatusError{Status: resp.StatusCode, Body: string(raw)}
 	}
 }
+
+// noteEpoch ratchets the shared epoch from a response header; the epoch
+// only ever moves forward, so a laggard node cannot roll it back.
+func (c *Client) noteEpoch(h http.Header) {
+	raw := h.Get(epochHeader)
+	if raw == "" {
+		return
+	}
+	e, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the highest replication epoch this client has seen.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
 
 // sleepCtx waits for d or until ctx ends.
 func sleepCtx(ctx context.Context, d time.Duration) error {

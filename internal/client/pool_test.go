@@ -1,0 +1,215 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdrank/internal/obs"
+)
+
+// testPool builds a pool over the given endpoints with instant fake
+// sleeps on every per-endpoint client and on the pool's own rounds.
+func testPool(t *testing.T, endpoints []string) *Pool {
+	t.Helper()
+	cfg := Config{
+		Seed:           42,
+		MaxAttempts:    6,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     4 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		Metrics:        obs.NewRegistry(),
+	}
+	p, err := NewPool(cfg, endpoints)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	noSleep := func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	for _, c := range p.clients {
+		c.sleep = noSleep
+	}
+	return p
+}
+
+// TestPoolFollowsLeaderHint submits to a follower that 503s with a
+// leader hint; the pool must re-aim at the hinted node, deliver there
+// under the SAME idempotency key, and keep the hinted node preferred.
+func TestPoolFollowsLeaderHint(t *testing.T) {
+	var mu sync.Mutex
+	var leaderKeys []string
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		leaderKeys = append(leaderKeys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+		w.Header().Set(epochHeader, "3")
+		ackBody(t, w, Ack{Accepted: 5})
+	}))
+	defer leader.Close()
+
+	var followerHits int
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		followerHits++
+		mu.Unlock()
+		w.Header().Set(leaderHeader, leader.URL)
+		http.Error(w, "not the leader", http.StatusServiceUnavailable)
+	}))
+	defer follower.Close()
+
+	p := testPool(t, []string{follower.URL, leader.URL})
+	ack, err := p.SubmitVotes(context.Background(), votes(5))
+	if err != nil {
+		t.Fatalf("SubmitVotes: %v", err)
+	}
+	if ack.Accepted != 5 {
+		t.Fatalf("accepted %d, want 5", ack.Accepted)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if followerHits != 1 {
+		t.Fatalf("follower was hit %d times; the hint should redirect after one 503", followerHits)
+	}
+	if len(leaderKeys) != 1 || leaderKeys[0] == "" {
+		t.Fatalf("leader saw keys %v, want exactly one non-empty key", leaderKeys)
+	}
+	if p.Leader() != leader.URL {
+		t.Fatalf("pool preference %q, want hinted leader %q", p.Leader(), leader.URL)
+	}
+	if p.Epoch() != 3 {
+		t.Fatalf("pool epoch %d, want 3 learned from the leader's header", p.Epoch())
+	}
+}
+
+// TestPoolRotatesOnDeadEndpoint points the pool's preference at a dead
+// address; connection failures must rotate it onto the live node.
+func TestPoolRotatesOnDeadEndpoint(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ackBody(t, w, Ack{Accepted: 3})
+	}))
+	defer live.Close()
+
+	// A listener that is closed immediately: connections are refused.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	p := testPool(t, []string{deadURL, live.URL})
+	ack, err := p.SubmitVotes(context.Background(), votes(3))
+	if err != nil {
+		t.Fatalf("SubmitVotes: %v", err)
+	}
+	if ack.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3", ack.Accepted)
+	}
+	if p.Leader() != live.URL {
+		t.Fatalf("pool preference %q, want rotated to %q", p.Leader(), live.URL)
+	}
+}
+
+// TestPoolSingleKeyAcrossFailover drives a mid-flight failover: the
+// first node acks, then starts refusing with a hint at its successor.
+// A second SubmitVotesKeyed retry of the SAME key must reach the new
+// leader carrying the same key it carried to the old one, and the epoch
+// ratchet learned from node B must be echoed back on later requests.
+func TestPoolSingleKeyAcrossFailover(t *testing.T) {
+	var mu sync.Mutex
+	var bKeys []string
+	var bEpochHdrs []string
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		bKeys = append(bKeys, r.Header.Get("Idempotency-Key"))
+		bEpochHdrs = append(bEpochHdrs, r.Header.Get(epochHeader))
+		mu.Unlock()
+		w.Header().Set(epochHeader, "1")
+		ackBody(t, w, Ack{Accepted: 4, Replayed: true})
+	}))
+	defer b.Close()
+
+	var aKeys []string
+	failedOver := false
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		aKeys = append(aKeys, r.Header.Get("Idempotency-Key"))
+		if failedOver {
+			w.Header().Set(leaderHeader, b.URL)
+			http.Error(w, "deposed", http.StatusServiceUnavailable)
+			return
+		}
+		ackBody(t, w, Ack{Accepted: 4})
+	}))
+	defer a.Close()
+
+	p := testPool(t, []string{a.URL, b.URL})
+	key := p.NewKey()
+	if _, err := p.SubmitVotesKeyed(context.Background(), key, votes(4)); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+
+	mu.Lock()
+	failedOver = true
+	mu.Unlock()
+
+	ack, err := p.SubmitVotesKeyed(context.Background(), key, votes(4))
+	if err != nil {
+		t.Fatalf("retry after failover: %v", err)
+	}
+	if !ack.Replayed {
+		t.Fatal("retry was not served from the replicated ack window")
+	}
+	mu.Lock()
+	if len(aKeys) < 1 || len(bKeys) != 1 || aKeys[0] != key || bKeys[0] != key {
+		mu.Unlock()
+		t.Fatalf("keys diverged across nodes: a=%v b=%v want both %q", aKeys, bKeys, key)
+	}
+	mu.Unlock()
+	if p.Epoch() != 1 {
+		t.Fatalf("pool epoch %d, want 1 from the new leader", p.Epoch())
+	}
+
+	// A third submit goes straight to B and echoes the learned epoch.
+	if _, err := p.SubmitVotes(context.Background(), votes(4)); err != nil {
+		t.Fatalf("post-failover submit: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got := bEpochHdrs[len(bEpochHdrs)-1]; got != "1" {
+		t.Fatalf("request epoch header %q, want ratcheted 1", got)
+	}
+}
+
+// TestPoolRankPrefersLeaderThenFallsBack reads from the preferred node
+// and falls back to any live replica when the leader is down.
+func TestPoolRankPrefersLeaderThenFallsBack(t *testing.T) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore errcheck test handler write; httptest surfaces failures elsewhere
+		_, _ = w.Write([]byte(`{"ranking":[2,0,1],"n":3,"votes":9}`))
+	}))
+	defer replica.Close()
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	p := testPool(t, []string{deadURL, replica.URL})
+	rk, err := p.Rank(context.Background(), time.Second)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(rk.Ranking) != 3 || rk.Ranking[0] != 2 {
+		t.Fatalf("ranking %+v, want [2 0 1]", rk)
+	}
+}
+
+func TestPoolRejectsEmptyEndpoints(t *testing.T) {
+	if _, err := NewPool(Config{Seed: 1}, nil); err == nil {
+		t.Fatal("NewPool accepted an empty endpoint list")
+	}
+	if _, err := NewPool(Config{Seed: 1}, []string{"  "}); err == nil {
+		t.Fatal("NewPool accepted a blank endpoint")
+	}
+}

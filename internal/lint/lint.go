@@ -121,8 +121,9 @@ type Config struct {
 	// crowdrank/internal/search, crowdrank/internal/serve (the daemon
 	// engine: its request loops run under client deadlines),
 	// crowdrank/internal/client (its retry loops run under caller
-	// contexts), and crowdrank/cmd/crowdrankd (the daemon binary itself)
-	// when nil.
+	// contexts), crowdrank/internal/replica (its stream and watchdog
+	// goroutines run for the node's lifetime), and
+	// crowdrank/cmd/crowdrankd (the daemon binary itself) when nil.
 	LongRunningPkgs []string
 	// Ackflow names the durability dataflow rules checked by ackflow. Each
 	// rule is evaluated in the package it names. Defaults to the daemon's
@@ -154,6 +155,7 @@ func (c Config) longRunning() map[string]bool {
 			"crowdrank/internal/search",
 			"crowdrank/internal/serve",
 			"crowdrank/internal/client",
+			"crowdrank/internal/replica",
 			"crowdrank/cmd/crowdrankd",
 		}
 	}

@@ -1,0 +1,80 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// epochFile is the name of the durable epoch record inside EpochDir. The
+// file holds one decimal number and is replaced atomically (write temp,
+// fsync, rename, fsync dir) so a crash mid-store leaves either the old or
+// the new epoch, never a torn one.
+const epochFile = "epoch"
+
+// LoadEpoch reads the durable fencing epoch from dir. A directory that
+// never recorded one yields 0 — the epoch every cluster starts at.
+func LoadEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("replica: reading epoch: %w", err)
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: epoch file %s is not a number: %w", filepath.Join(dir, epochFile), err)
+	}
+	return e, nil
+}
+
+// StoreEpoch durably records epoch in dir. Promotion and step-down both
+// go through here: a fencing decision that is not on disk before it takes
+// effect could be forgotten by a crash and un-fence a deposed leader.
+func StoreEpoch(dir string, epoch uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("replica: creating epoch dir: %w", err)
+	}
+	final := filepath.Join(dir, epochFile)
+	tmp, err := os.CreateTemp(dir, epochFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("replica: creating epoch temp file: %w", err)
+	}
+	defer func() {
+		//lint:ignore errcheck best-effort cleanup of a temp file that was already renamed or abandoned
+		_ = os.Remove(tmp.Name())
+	}()
+	if _, err := tmp.WriteString(strconv.FormatUint(epoch, 10) + "\n"); err != nil {
+		//lint:ignore errcheck error-path cleanup; the write error is already being returned
+		_ = tmp.Close()
+		return fmt.Errorf("replica: writing epoch: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		//lint:ignore errcheck error-path cleanup; the fsync error is already being returned
+		_ = tmp.Close()
+		return fmt.Errorf("replica: syncing epoch: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("replica: closing epoch temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("replica: installing epoch: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("replica: opening epoch dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		//lint:ignore errcheck error-path cleanup of a read-only handle; the sync error is already being returned
+		_ = d.Close()
+		return fmt.Errorf("replica: syncing epoch dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("replica: closing epoch dir: %w", err)
+	}
+	return nil
+}

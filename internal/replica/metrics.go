@@ -1,0 +1,44 @@
+package replica
+
+import "crowdrank/internal/obs"
+
+// metrics is the replication layer's bundle, registered on the same
+// registry as the serving engine so one /metrics scrape covers both.
+type metrics struct {
+	streamed   *obs.Counter // leader: records sent to followers
+	applied    *obs.Counter // follower: records applied locally
+	reconnects *obs.Counter // follower: stream re-dials
+	stepdowns  *obs.Counter // leader deposed by a higher epoch
+	promotions *obs.Counter // this node promoted to leader
+	bootstraps *obs.Counter // fresh followers seeded from a leader snapshot
+}
+
+func newMetrics(reg *obs.Registry, n *Node) *metrics {
+	m := &metrics{
+		streamed:   reg.Counter("crowdrankd_replica_records_streamed_total", "Journal records sent to followers over replication streams."),
+		applied:    reg.Counter("crowdrankd_replica_records_applied_total", "Replicated records applied to the local journal and state."),
+		reconnects: reg.Counter("crowdrankd_replica_stream_reconnects_total", "Times the follower re-dialed the leader's replication stream."),
+		stepdowns:  reg.Counter("crowdrankd_replica_stepdowns_total", "Times this node was deposed from the leader role by a higher epoch."),
+		promotions: reg.Counter("crowdrankd_replica_promotions_total", "Times this node was promoted to leader."),
+		bootstraps: reg.Counter("crowdrankd_replica_snapshot_bootstraps_total", "Fresh followers bootstrapped from a leader snapshot."),
+	}
+	reg.GaugeFunc("crowdrankd_replica_role", "1 while this node is the leader, 0 as a follower.", func() float64 {
+		if n.Role() == RoleLeader {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("crowdrankd_replica_epoch", "Current fencing epoch.", func() float64 {
+		return float64(n.Epoch())
+	})
+	reg.GaugeFunc("crowdrankd_replica_lag", "Records the follower is behind the leader (0 on the leader).", func() float64 {
+		return float64(n.Lag())
+	})
+	reg.GaugeFunc("crowdrankd_replica_connected", "1 while the follower's replication stream is attached.", func() float64 {
+		if n.connected.Load() {
+			return 1
+		}
+		return 0
+	})
+	return m
+}

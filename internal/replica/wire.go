@@ -1,0 +1,113 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Stream wire format. A replication stream is a chunked HTTP response
+// carrying a sequence of frames, each introduced by a one-byte kind:
+//
+//	'R' (record):    uint64 seq | uint32 len | uint32 crc32c | payload
+//	'H' (heartbeat): uint64 leaderNextSeq | uint64 epoch
+//
+// All integers little-endian, matching the journal's own record framing.
+// Record payloads are journal batch records verbatim (the v1/v2 format
+// internal/serve writes), checksummed again for the wire so a corrupted
+// proxy hop cannot land a bad record in a follower's journal. Heartbeats
+// flow while the leader is idle: they carry the leader's next sequence
+// (the follower derives its lag from it) and the leader's current epoch
+// (how a follower learns about promotions it did not itself perform).
+const (
+	frameRecord    = 'R'
+	frameHeartbeat = 'H'
+
+	// maxFramePayload bounds one record frame on the receiving side, a
+	// backstop against a corrupt or hostile length prefix. Generous: the
+	// journal's own record cap is far below this.
+	maxFramePayload = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame is one decoded stream frame. Record frames carry seq and payload;
+// heartbeats carry next (the leader's next sequence) and epoch.
+type frame struct {
+	kind    byte
+	seq     uint64 // record frames: the record's sequence number
+	next    uint64 // heartbeats: the leader's next sequence
+	epoch   uint64 // heartbeats: the leader's epoch
+	payload []byte
+}
+
+// writeRecordFrame emits one 'R' frame.
+func writeRecordFrame(w *bufio.Writer, seq uint64, payload []byte) error {
+	var hdr [17]byte
+	hdr[0] = frameRecord
+	binary.LittleEndian.PutUint64(hdr[1:9], seq)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeHeartbeatFrame emits one 'H' frame.
+func writeHeartbeatFrame(w *bufio.Writer, next, epoch uint64) error {
+	var hdr [17]byte
+	hdr[0] = frameHeartbeat
+	binary.LittleEndian.PutUint64(hdr[1:9], next)
+	binary.LittleEndian.PutUint64(hdr[9:17], epoch)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readFrame decodes the next frame off the stream. io.EOF means the
+// leader closed the stream cleanly between frames; any torn frame is
+// reported as ErrUnexpectedEOF or a checksum error.
+func readFrame(r *bufio.Reader) (frame, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return frame{}, err
+	}
+	var body [16]byte
+	if _, err := io.ReadFull(r, body[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, fmt.Errorf("replica: torn %q frame header: %w", kind, err)
+	}
+	switch kind {
+	case frameHeartbeat:
+		return frame{
+			kind:  kind,
+			next:  binary.LittleEndian.Uint64(body[0:8]),
+			epoch: binary.LittleEndian.Uint64(body[8:16]),
+		}, nil
+	case frameRecord:
+		seq := binary.LittleEndian.Uint64(body[0:8])
+		length := binary.LittleEndian.Uint32(body[8:12])
+		want := binary.LittleEndian.Uint32(body[12:16])
+		if length == 0 || length > maxFramePayload {
+			return frame{}, fmt.Errorf("replica: implausible record frame length %d at seq %d", length, seq)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return frame{}, fmt.Errorf("replica: torn record frame at seq %d: %w", seq, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return frame{}, fmt.Errorf("replica: record frame at seq %d failed checksum (recorded %08x, computed %08x)", seq, want, got)
+		}
+		return frame{kind: kind, seq: seq, payload: payload}, nil
+	default:
+		return frame{}, fmt.Errorf("replica: unknown frame kind %q", kind)
+	}
+}

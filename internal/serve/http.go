@@ -303,17 +303,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.closing.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
-	}
-	if s.jnl != nil {
-		if err := s.jnl.Poisoned(); err != nil {
-			// fsyncgate semantics: a failed fsync may have dropped dirty
-			// pages, so the only honest readiness answer is "no".
-			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+	if err := s.Ready(); err != nil {
+		if errors.Is(err, errShuttingDown) {
+			s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 			return
 		}
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

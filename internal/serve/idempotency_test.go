@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crowdrank/internal/crowd"
+	"crowdrank/internal/journal"
 )
 
 // --- exactly-once batch acks ---
@@ -508,5 +509,69 @@ func TestRetryAfterDerivation(t *testing.T) {
 	secs, err := strconv.Atoi(got)
 	if err != nil || secs != 11 {
 		t.Fatalf("open breaker over an empty queue should hint 11s, got %q (%v)", got, err)
+	}
+}
+
+// TestReplayMixedV1AndV2Records pins the on-disk compatibility contract:
+// a journal holding unkeyed v1 batch records followed by keyed v2 records
+// (the shape left behind by an upgrade mid-stream) replays fully, and the
+// rebuilt ack window holds only the keyed suffix.
+func TestReplayMixedV1AndV2Records(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := journal.Open(dir, journal.Options{}, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Batches := [][]crowd.Vote{
+		{{Worker: 0, I: 0, J: 1, PrefersI: true}},
+		{{Worker: 1, I: 2, J: 3, PrefersI: false}, {Worker: 0, I: 1, J: 2, PrefersI: true}},
+	}
+	for _, b := range v1Batches {
+		if _, err := j.Append(encodeBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2Keys := []string{"upgrade-a", "upgrade-b"}
+	v2Batches := [][]crowd.Vote{
+		{{Worker: 1, I: 3, J: 0, PrefersI: true}},
+		{{Worker: 0, I: 2, J: 0, PrefersI: false}},
+	}
+	for i, b := range v2Batches {
+		if _, err := j.Append(encodeBatchKeyed(v2Keys[i], 1, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(4, 2)
+	cfg.Seed = 77
+	cfg.JournalPath = dir
+	s := newTestServer(t, cfg)
+
+	st := s.StatsSnapshot()
+	if st.Batches != 4 || st.Votes != 5 {
+		t.Fatalf("replay applied %d batches / %d votes, want 4 / 5: %+v", st.Batches, st.Votes, st)
+	}
+	if st.AckWindow != 2 {
+		t.Fatalf("ack window holds %d keys, want only the 2 keyed v2 records", st.AckWindow)
+	}
+
+	// The keyed suffix replays exactly-once, preserving its recorded
+	// malformed count; the unkeyed prefix left nothing to replay against.
+	res, err := s.IngestKeyed(context.Background(), v2Keys[0], v2Batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replayed || res.Malformed != 1 {
+		t.Fatalf("keyed v2 record did not replay from the rebuilt window: %+v", res)
+	}
+	fresh, err := s.IngestKeyed(context.Background(), "post-upgrade", []crowd.Vote{{Worker: 1, I: 1, J: 3, PrefersI: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Replayed || fresh.Accepted != 1 {
+		t.Fatalf("fresh key after mixed replay misbehaved: %+v", fresh)
 	}
 }

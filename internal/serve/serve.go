@@ -66,6 +66,10 @@ type Config struct {
 	// exceeds this many bytes. 0 means the default 64 MiB; negative
 	// disables the size trigger. POST /snapshot triggers one regardless.
 	SnapshotMaxJournalBytes int64
+	// SnapshotKeep is how many verified snapshots survive pruning: the
+	// newest plus fallbacks in case the newest is damaged later. 0 means
+	// the default 2; values below 1 are refused.
+	SnapshotKeep int
 
 	// Seed drives smoothing and SAPS, making served rankings reproducible
 	// and certifiable (pass it to CertifyRanking). 0 draws a time-derived
@@ -148,6 +152,7 @@ func DefaultConfig(n, m int) Config {
 		JournalSync:             journal.SyncAlways,
 		SnapshotEveryBatches:    1024,
 		SnapshotMaxJournalBytes: 64 << 20,
+		SnapshotKeep:            2,
 		ExactLimit:              16,
 		ExactFraction:           0.5,
 		SAPSFraction:            0.8,
@@ -217,6 +222,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SnapshotMaxJournalBytes == 0 {
 		c.SnapshotMaxJournalBytes = d.SnapshotMaxJournalBytes
 	}
+	if c.SnapshotKeep == 0 {
+		c.SnapshotKeep = d.SnapshotKeep
+	}
 	if c.SlowRequestThreshold == 0 {
 		c.SlowRequestThreshold = d.SlowRequestThreshold
 	}
@@ -248,6 +256,8 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("serve: breaker threshold must be >= 1 and cooldown non-negative")
 	case c.DefaultDeadline < 0 || c.MaxDeadline <= 0 || c.MinRungBudget < 0:
 		return c, fmt.Errorf("serve: deadlines must be positive")
+	case c.SnapshotKeep < 1:
+		return c, fmt.Errorf("serve: SnapshotKeep must be >= 1 (the newest snapshot must survive pruning), got %d", c.SnapshotKeep)
 	}
 	return c, nil
 }
@@ -756,10 +766,6 @@ type SnapshotResult struct {
 	SnapshotsPruned int `json:"snapshots_pruned"`
 }
 
-// snapshotsToKeep is how many verified snapshots survive pruning: the
-// newest plus one fallback in case the newest is damaged later.
-const snapshotsToKeep = 2
-
 // Snapshot captures the current state into a checksummed snapshot file,
 // verifies it by reading it back, and only then compacts the journal
 // segments it covers. It is the library form of POST /snapshot; the
@@ -816,7 +822,7 @@ func (s *Server) Snapshot() (SnapshotResult, error) {
 		s.met.snapshotFailed.Inc()
 		return res, fmt.Errorf("serve: snapshot %s written but compaction failed: %w", path, err)
 	}
-	pruned, err := snapshot.Prune(s.jnl.Dir(), snapshotsToKeep)
+	pruned, err := snapshot.Prune(s.jnl.Dir(), s.cfg.SnapshotKeep)
 	if err != nil {
 		// Stale snapshots waste disk but threaten nothing; keep going.
 		s.logf("serve: pruning old snapshots: %v", err)
@@ -911,11 +917,15 @@ type Stats struct {
 	Duplicates int `json:"duplicates"`
 	Malformed  int `json:"malformed"`
 	// AckWindow is how many batch idempotency keys are currently
-	// remembered for exactly-once acknowledgement.
-	AckWindow int    `json:"ack_window"`
-	Seed      uint64 `json:"seed"`
-	Breaker   string `json:"breaker"`
-	Journal   string `json:"journal,omitempty"`
+	// remembered for exactly-once acknowledgement; AckWindowCapacity is
+	// the configured window size (0 when the window is disabled).
+	// Occupancy at capacity means the window is evicting — a client
+	// retrying a batch older than the window would re-apply it.
+	AckWindow         int    `json:"ack_window"`
+	AckWindowCapacity int    `json:"ack_window_capacity"`
+	Seed              uint64 `json:"seed"`
+	Breaker           string `json:"breaker"`
+	Journal           string `json:"journal,omitempty"`
 	// Disk accounting, for alerting on unbounded growth: live journal
 	// bytes and segment count, plus bytes held by snapshot files.
 	JournalBytes    int64 `json:"journal_bytes"`
@@ -945,21 +955,22 @@ type Stats struct {
 func (s *Server) StatsSnapshot() Stats {
 	s.mu.RLock()
 	st := Stats{
-		Objects:          s.cfg.N,
-		Workers:          s.cfg.M,
-		Votes:            len(s.votes),
-		Batches:          s.batches,
-		Duplicates:       s.dupVotes,
-		Malformed:        s.malformed,
-		AckWindow:        len(s.acks),
-		Seed:             s.cfg.Seed,
-		LastSnapshotSeq:  s.lastSnapSeq,
-		LastSnapshotGen:  s.lastSnapGen,
-		RecoveredBatches: s.recovered.Records,
-		TruncatedBytes:   s.recovered.TruncatedBytes,
-		Closing:          s.closing.Load(),
-		UptimeSeconds:    s.clock.Since(s.started).Seconds(),
-		RecoverySeconds:  s.recoveryDur.Seconds(),
+		Objects:           s.cfg.N,
+		Workers:           s.cfg.M,
+		Votes:             len(s.votes),
+		Batches:           s.batches,
+		Duplicates:        s.dupVotes,
+		Malformed:         s.malformed,
+		AckWindow:         len(s.acks),
+		Seed:              s.cfg.Seed,
+		AckWindowCapacity: max(s.cfg.IdempotencyWindow, 0),
+		LastSnapshotSeq:   s.lastSnapSeq,
+		LastSnapshotGen:   s.lastSnapGen,
+		RecoveredBatches:  s.recovered.Records,
+		TruncatedBytes:    s.recovered.TruncatedBytes,
+		Closing:           s.closing.Load(),
+		UptimeSeconds:     s.clock.Since(s.started).Seconds(),
+		RecoverySeconds:   s.recoveryDur.Seconds(),
 	}
 	s.mu.RUnlock()
 	st.Breaker = s.breaker.state()
@@ -1034,6 +1045,118 @@ var (
 // journal.Faults before constructing the server to simulate failed writes
 // and fsyncs ("fsyncgate"). Always nil in production.
 var testJournalFaults *journal.Faults
+
+// Ready reports whether the server can currently promise durability: nil
+// while healthy, an error once shutdown has begun or the journal is
+// poisoned (disk fault, or deposition fencing by the replication layer).
+// It is the library form of GET /readyz.
+func (s *Server) Ready() error {
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Poisoned(); err != nil {
+			// fsyncgate semantics: a failed fsync may have dropped dirty
+			// pages, so the only honest readiness answer is "no".
+			return err
+		}
+	}
+	return nil
+}
+
+// Journal exposes the server's journal; nil when running in-memory. The
+// replication layer streams records out of it on the leader, and fences a
+// deposed leader by poisoning it.
+func (s *Server) Journal() *journal.Journal { return s.jnl }
+
+// StateSnapshot captures a consistent point-in-time snapshot.State — the
+// same cut Snapshot persists, without writing anything. The leader serves
+// it on GET /replicate/snapshot to bootstrap fresh followers.
+func (s *Server) StateSnapshot() snapshot.State {
+	s.writeMu.Lock()
+	s.mu.RLock()
+	st := snapshot.State{
+		N:        s.cfg.N,
+		M:        s.cfg.M,
+		Seq:      uint64(s.batches),
+		Gen:      s.gen,
+		DupVotes: s.dupVotes,
+		Votes:    s.votes[:len(s.votes):len(s.votes)],
+		Acks:     s.ackWindowLocked(),
+	}
+	if s.jnl != nil {
+		// Under writeMu no append is between its journal write and its
+		// apply, so NextSeq is exactly the coverage of the state above.
+		st.Seq = s.jnl.NextSeq()
+	}
+	s.mu.RUnlock()
+	s.writeMu.Unlock()
+	return st
+}
+
+// ApplyReplicated journals and applies one batch record received from a
+// replication stream. seq is the sequence the record carries on the
+// leader; the follower's journal must be exactly there — a mismatch means
+// the stream and the local journal diverged (matching journal.ErrSeqGap)
+// and the follower must resync rather than guess. The payload is appended
+// verbatim, keeping a follower's journal byte-for-byte the leader's
+// record stream, then folded into memory exactly like recovery replay —
+// including rebuilding keyed acks, so the idempotency window follows the
+// leader and a client retry after failover replays instead of re-applying.
+func (s *Server) ApplyReplicated(seq uint64, payload []byte) error {
+	err := s.applyReplicated(seq, payload)
+	if err == nil {
+		// Followers run the same snapshot+compaction policy as the leader,
+		// outside the locks applyReplicated held.
+		s.maybeSnapshot()
+	}
+	return err
+}
+
+func (s *Server) applyReplicated(seq uint64, payload []byte) error {
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	rec, err := decodeBatchRecord(payload, s.cfg.N, s.cfg.M)
+	if err != nil {
+		// A record that does not decode is a foreign or incompatible
+		// stream — refuse it rather than guess, same as recovery.
+		return fmt.Errorf("serve: undecodable replicated batch: %w", err)
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.jnl != nil {
+		if got := s.jnl.NextSeq(); got != seq {
+			return fmt.Errorf("serve: replicated record carries seq %d but the local journal is at %d: %w",
+				seq, got, journal.ErrSeqGap)
+		}
+		//lint:ignore lockcheck durable-before-apply, exactly like ingest: the append must finish under writeMu so journal order equals apply order
+		if _, err := s.jnl.Append(payload); err != nil {
+			return fmt.Errorf("serve: journaling replicated batch: %w", err)
+		}
+	}
+	added, dups := s.apply(rec.votes)
+	if rec.key != "" {
+		s.mu.Lock()
+		s.recordAckLocked(rec.key, IngestResult{
+			Accepted:   added,
+			Duplicates: dups,
+			Malformed:  rec.malformed,
+			Seq:        s.batches,
+			TotalVotes: len(s.votes),
+		})
+		s.mu.Unlock()
+	}
+	s.met.ingestAccepted.Add(uint64(added))
+	s.met.ingestDuplicate.Add(uint64(dups))
+	s.sinceSnap.Add(1)
+	return nil
+}
 
 // Close drains in-flight work and performs the final journal sync. After
 // Close, ingest and rank requests fail fast (HTTP 503); Close is

@@ -281,6 +281,71 @@ func decode(data []byte, version byte) (State, error) {
 	return st, nil
 }
 
+// Encode serializes st into the complete snapshot file format — magic,
+// checksum, length, payload — exactly the bytes Write persists. The
+// replication layer uses it to ship a leader's state to a bootstrapping
+// follower over the wire without first spilling it to the leader's disk;
+// the receiver validates and lands the bytes with InstallRaw.
+func Encode(st State) []byte {
+	payload := encode(st)
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// Decode validates data as a complete snapshot file (as produced by Encode
+// or read back from disk) and returns the State it carries. It applies the
+// same integrity and universe checks as Load.
+func Decode(data []byte) (State, error) {
+	var st State
+	if len(data) < headerSize {
+		return st, fmt.Errorf("snapshot: %d bytes is too short for a snapshot header", len(data))
+	}
+	var version byte
+	switch {
+	case string(data[:8]) == string(fileMagic):
+		version = 2
+	case string(data[:8]) == string(fileMagicV1):
+		version = 1
+	default:
+		return st, fmt.Errorf("snapshot: bad magic %q", data[:8])
+	}
+	want := binary.LittleEndian.Uint32(data[8:12])
+	length := binary.LittleEndian.Uint64(data[12:20])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != length {
+		return st, fmt.Errorf("snapshot: payload is %d bytes, header promises %d", len(payload), length)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return st, fmt.Errorf("snapshot: checksum mismatch: recorded %08x, computed %08x", want, got)
+	}
+	return decode(payload, version)
+}
+
+// InstallRaw validates data as a complete snapshot file and atomically
+// lands it in dir under the canonical snapshot.<seq> name, returning the
+// final path and the decoded state. It is the receiving half of a
+// replication bootstrap: the follower installs the leader's encoded
+// snapshot, then opens its journal with ReplayFrom at the returned
+// state's Seq. Damaged bytes are refused before anything touches disk.
+func InstallRaw(dir string, data []byte) (string, State, error) {
+	st, err := Decode(data)
+	if err != nil {
+		return "", st, err
+	}
+	if int64(len(data)) > maxSnapshotBytes {
+		return "", st, fmt.Errorf("snapshot: %d bytes is beyond the plausible maximum", len(data))
+	}
+	path, err := writeRaw(dir, name(st.Seq), data)
+	if err != nil {
+		return "", st, err
+	}
+	return path, st, nil
+}
+
 // Write atomically persists st into dir as snapshot.<seq> and returns the
 // final path. The sequence of temp-write → fsync → rename → directory
 // fsync guarantees that after Write returns nil the snapshot survives
@@ -288,14 +353,13 @@ func decode(data []byte, version byte) (State, error) {
 // snapshots untouched. Leftover *.tmp files from crashed writers are
 // removed opportunistically.
 func Write(dir string, st State) (string, error) {
-	payload := encode(st)
-	buf := make([]byte, headerSize+len(payload))
-	copy(buf, fileMagic)
-	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(payload, castagnoli))
-	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
-	copy(buf[headerSize:], payload)
+	return writeRaw(dir, name(st.Seq), Encode(st))
+}
 
-	final := filepath.Join(dir, name(st.Seq))
+// writeRaw lands buf in dir under filename via the atomic temp → fsync →
+// rename → directory-fsync dance shared by Write and InstallRaw.
+func writeRaw(dir, filename string, buf []byte) (string, error) {
+	final := filepath.Join(dir, filename)
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -345,30 +409,9 @@ func Load(path string) (State, error) {
 	if err != nil {
 		return st, fmt.Errorf("snapshot: read %s: %w", path, err)
 	}
-	if len(data) < headerSize {
-		return st, fmt.Errorf("snapshot: %s too short for header (%d bytes)", path, len(data))
-	}
-	var version byte
-	switch {
-	case string(data[:8]) == string(fileMagic):
-		version = 2
-	case string(data[:8]) == string(fileMagicV1):
-		version = 1
-	default:
-		return st, fmt.Errorf("snapshot: %s has bad magic %q", path, data[:8])
-	}
-	want := binary.LittleEndian.Uint32(data[8:12])
-	length := binary.LittleEndian.Uint64(data[12:20])
-	payload := data[headerSize:]
-	if uint64(len(payload)) != length {
-		return st, fmt.Errorf("snapshot: %s payload is %d bytes, header promises %d", path, len(payload), length)
-	}
-	if got := crc32.Checksum(payload, castagnoli); got != want {
-		return st, fmt.Errorf("snapshot: %s checksum mismatch: recorded %08x, computed %08x", path, want, got)
-	}
-	st, err = decode(payload, version)
+	st, err = Decode(data)
 	if err != nil {
-		return st, err
+		return st, fmt.Errorf("%w (in %s)", err, path)
 	}
 	return st, nil
 }

@@ -1,0 +1,105 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crowdrank/internal/crowd"
+)
+
+func transferState() State {
+	return State{
+		N: 5, M: 3, Seq: 42, Gen: 7, DupVotes: 1,
+		Votes: []crowd.Vote{
+			{Worker: 0, I: 1, J: 2, PrefersI: true},
+			{Worker: 2, I: 0, J: 4, PrefersI: false},
+		},
+		Acks: []AckEntry{
+			{Key: "k-1", Accepted: 2, Seq: 41, TotalVotes: 2},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := transferState()
+	data := Encode(st)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, st)
+	}
+	// Encode must produce exactly the bytes Write persists.
+	dir := t.TempDir()
+	path, err := Write(dir, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != string(data) {
+		t.Fatal("Encode bytes differ from what Write persists")
+	}
+}
+
+func TestDecodeRefusesDamage(t *testing.T) {
+	data := Encode(transferState())
+	cases := map[string][]byte{
+		"short":        data[:10],
+		"bad magic":    append([]byte("NOTASNAP"), data[8:]...),
+		"flipped byte": append(append([]byte{}, data[:len(data)-1]...), data[len(data)-1]^0xff),
+		"truncated":    data[:len(data)-3],
+	}
+	for name, d := range cases {
+		if _, err := Decode(d); err == nil {
+			t.Errorf("Decode(%s) should fail", name)
+		}
+	}
+}
+
+func TestInstallRawLandsLoadableSnapshot(t *testing.T) {
+	st := transferState()
+	dir := t.TempDir()
+	path, got, err := InstallRaw(dir, Encode(st))
+	if err != nil {
+		t.Fatalf("InstallRaw: %v", err)
+	}
+	if got.Seq != st.Seq {
+		t.Fatalf("InstallRaw decoded seq %d, want %d", got.Seq, st.Seq)
+	}
+	if filepath.Base(path) != name(st.Seq) {
+		t.Fatalf("InstallRaw landed %s, want canonical %s", filepath.Base(path), name(st.Seq))
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after InstallRaw: %v", err)
+	}
+	if !reflect.DeepEqual(loaded, st) {
+		t.Fatalf("installed snapshot diverged:\n got %+v\nwant %+v", loaded, st)
+	}
+	entries, err := List(dir)
+	if err != nil || len(entries) != 1 || entries[0].Seq != st.Seq {
+		t.Fatalf("List after install: %v %v", entries, err)
+	}
+}
+
+func TestInstallRawRefusesDamageBeforeTouchingDisk(t *testing.T) {
+	dir := t.TempDir()
+	data := Encode(transferState())
+	data[len(data)-1] ^= 0xff
+	if _, _, err := InstallRaw(dir, data); err == nil {
+		t.Fatal("InstallRaw should refuse a corrupt snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("refused install left %d files behind", len(entries))
+	}
+}

@@ -33,6 +33,11 @@ echo "== chaos soak: exactly-once acks through the netfault proxy =="
 # drill. CROWDRANK_SOAK_SUMMARY captures a JSON run summary (CI uploads it).
 go test -count=1 -run 'TestChaosSoakExactlyOnce' ./internal/client
 
+echo "== chaos failover: exactly-once across leader SIGKILL + promotion =="
+# Short soak by default; CROWDRANK_FAILOVER_BATCHES lengthens it and
+# CROWDRANK_FAILOVER_SUMMARY captures a JSON run summary (CI uploads it).
+go test -count=1 -run 'TestChaosFailoverExactlyOnce' ./internal/replica
+
 echo "== fuzz smoke: journal replay =="
 go test -run='^$' -fuzz=FuzzJournalReplay -fuzztime=20s ./internal/serve
 
